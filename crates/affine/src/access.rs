@@ -1,0 +1,176 @@
+//! Affine array access functions `r⃗ = A·i⃗ + o⃗`.
+
+use crate::matrix::{IMat, IVec};
+use std::fmt;
+
+/// An affine array reference: the data vector touched by iteration `i⃗` is
+/// `A·i⃗ + o⃗`, where `A` is the *access matrix* (§5.1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use hoploc_affine::{AffineAccess, IMat, IVec};
+///
+/// // Reference A[i1][2*i2 + 1] from the paper, §5.1.
+/// let acc = AffineAccess::new(
+///     IMat::from_rows(&[&[1, 0], &[0, 2]]),
+///     IVec::new(vec![0, 1]),
+/// );
+/// assert_eq!(acc.eval(&IVec::new(vec![1, 2])), IVec::new(vec![1, 5]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AffineAccess {
+    matrix: IMat,
+    offset: IVec,
+}
+
+impl AffineAccess {
+    /// Creates an access function from its matrix and offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset.len() != matrix.rows()`.
+    pub fn new(matrix: IMat, offset: IVec) -> Self {
+        assert_eq!(
+            offset.len(),
+            matrix.rows(),
+            "offset length must equal the number of array dimensions"
+        );
+        Self { matrix, offset }
+    }
+
+    /// The identity access `X[i1][i2]…` for an `n`-deep nest over an
+    /// `n`-dimensional array.
+    pub fn identity(n: usize) -> Self {
+        Self::new(IMat::identity(n), IVec::zeros(n))
+    }
+
+    /// The access matrix `A`.
+    pub fn matrix(&self) -> &IMat {
+        &self.matrix
+    }
+
+    /// The constant offset `o⃗`.
+    pub fn offset(&self) -> &IVec {
+        &self.offset
+    }
+
+    /// Array rank (number of subscripts).
+    pub fn rank(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Loop depth this access expects.
+    pub fn depth(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Evaluates the data vector for an iteration vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i.len() != self.depth()`.
+    pub fn eval(&self, i: &IVec) -> IVec {
+        &self.matrix.mul_vec(i) + &self.offset
+    }
+
+    /// Evaluates from a plain slice iteration vector.
+    pub fn eval_slice(&self, i: &[i64]) -> IVec {
+        self.eval(&IVec::from(i))
+    }
+
+    /// Applies a layout transformation `U`: the transformed reference is
+    /// `r⃗' = U·r⃗ = (U·A)·i⃗ + U·o⃗` (§5.2).
+    pub fn transformed(&self, u: &IMat) -> AffineAccess {
+        AffineAccess::new(u * &self.matrix, u.mul_vec(&self.offset))
+    }
+
+    /// The submatrix `B`: the access matrix with the `u`-th column (the
+    /// iteration partition dimension) removed (§5.2, Eq. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range or the nest has depth 1 (a 1-deep
+    /// parallel nest has no sequential dimensions; its `B` is empty and
+    /// every layout satisfies it).
+    pub fn submatrix(&self, u: usize) -> IMat {
+        self.matrix.drop_col(u)
+    }
+}
+
+impl fmt::Debug for AffineAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AffineAccess(A={:?}, o={:?})", self.matrix, self.offset)
+    }
+}
+
+impl fmt::Display for AffineAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rank() {
+            write!(f, "[")?;
+            let mut wrote = false;
+            for c in 0..self.depth() {
+                let k = self.matrix[(r, c)];
+                if k == 0 {
+                    continue;
+                }
+                if wrote {
+                    write!(f, "{}", if k < 0 { " - " } else { " + " })?;
+                    if k.abs() != 1 {
+                        write!(f, "{}*", k.abs())?;
+                    }
+                } else {
+                    if k == -1 {
+                        write!(f, "-")?;
+                    } else if k != 1 {
+                        write!(f, "{k}*")?;
+                    }
+                    wrote = true;
+                }
+                write!(f, "i{c}")?;
+            }
+            let o = self.offset[r];
+            if !wrote {
+                write!(f, "{o}")?;
+            } else if o != 0 {
+                write!(f, " {} {}", if o < 0 { "-" } else { "+" }, o.abs())?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_evaluates() {
+        let acc = AffineAccess::new(IMat::from_rows(&[&[1, 0], &[0, 2]]), IVec::new(vec![0, 1]));
+        assert_eq!(acc.eval(&IVec::new(vec![1, 2])), IVec::new(vec![1, 5]));
+    }
+
+    #[test]
+    fn transform_composes_linearly() {
+        let acc = AffineAccess::identity(2);
+        let u = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let t = acc.transformed(&u);
+        // Swapped subscripts: X'[i2][i1].
+        assert_eq!(t.eval(&IVec::new(vec![3, 9])), IVec::new(vec![9, 3]));
+    }
+
+    #[test]
+    fn transform_applies_to_offset() {
+        let acc = AffineAccess::new(IMat::identity(2), IVec::new(vec![1, -1]));
+        let u = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let t = acc.transformed(&u);
+        assert_eq!(t.offset(), &IVec::new(vec![-1, 1]));
+    }
+
+    #[test]
+    fn display_shows_subscripts() {
+        let acc = AffineAccess::new(IMat::from_rows(&[&[1, 0], &[0, 2]]), IVec::new(vec![0, 1]));
+        assert_eq!(acc.to_string(), "[i0][2*i1 + 1]");
+    }
+}

@@ -1,0 +1,408 @@
+//! Exact integer linear algebra: nullspaces, Hermite normal form, and
+//! unimodular completion.
+//!
+//! Section 5.2 of the paper reduces the Data-to-Core mapping problem to a
+//! homogeneous linear system `Bᵀ gᵥᵀ = 0` solved by *integer Gaussian
+//! elimination*, after which the partial solution `gᵥ` must be completed
+//! into a full unimodular transformation matrix `U`. This module provides
+//! those primitives.
+
+use crate::matrix::{extended_gcd, IMat, IVec};
+
+/// Computes an integer basis of the nullspace `{x ∈ Zⁿ : M·x = 0}`.
+///
+/// The basis vectors are primitive (their components are co-prime) and the
+/// returned set is empty exactly when the kernel is trivial.
+///
+/// The algorithm brings `M` to *column* echelon form with unimodular column
+/// operations tracked in `V`; the columns of `V` below the zero columns of
+/// the echelon form span the kernel.
+///
+/// # Examples
+///
+/// ```
+/// use hoploc_affine::{nullspace, IMat, IVec};
+///
+/// // Kernel of [1 1] is spanned by (1, -1).
+/// let m = IMat::from_rows(&[&[1, 1]]);
+/// let basis = nullspace(&m);
+/// assert_eq!(basis.len(), 1);
+/// assert_eq!(m.mul_vec(&basis[0]), IVec::zeros(1));
+/// ```
+pub fn nullspace(m: &IMat) -> Vec<IVec> {
+    let rows = m.rows();
+    let cols = m.cols();
+    let mut a = m.clone();
+    let mut v = IMat::identity(cols);
+
+    // Column echelon form: for each pivot row, clear all but one column
+    // entry using gcd-based column operations.
+    let mut pivot_col = 0;
+    for r in 0..rows {
+        if pivot_col >= cols {
+            break;
+        }
+        // Use the extended Euclidean algorithm to gather the gcd of the row
+        // segment into `pivot_col`.
+        while let Some(c) = (pivot_col..cols).find(|&c| a[(r, c)] != 0) {
+            if c != pivot_col {
+                swap_cols(&mut a, &mut v, pivot_col, c);
+            }
+            // Reduce every other entry in this row modulo the pivot.
+            let mut progressed = false;
+            for c in pivot_col + 1..cols {
+                if a[(r, c)] == 0 {
+                    continue;
+                }
+                let p = a[(r, pivot_col)];
+                let q = a[(r, c)];
+                let (g, x, y) = extended_gcd(p, q);
+                // Replace columns (pivot, c) by (x*pivot + y*c, -(q/g)*pivot + (p/g)*c):
+                // the row entries become (g, 0) and the transform has det 1.
+                combine_cols(&mut a, &mut v, pivot_col, c, x, y, -(q / g), p / g);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if a[(r, pivot_col)] != 0 {
+            pivot_col += 1;
+        }
+    }
+
+    // Re-validate which columns of `a` are entirely zero: those columns of
+    // `v` are kernel vectors. (With row-by-row processing, a column may be
+    // zeroed early and re-filled later, so check the final matrix.)
+    let mut basis = Vec::new();
+    for c in 0..cols {
+        if (0..rows).all(|r| a[(r, c)] == 0) {
+            let vec = v.col(c).to_primitive();
+            if !vec.is_zero() {
+                basis.push(vec);
+            }
+        }
+    }
+    basis
+}
+
+/// Swaps columns `i` and `j` of both matrices.
+fn swap_cols(a: &mut IMat, v: &mut IMat, i: usize, j: usize) {
+    for r in 0..a.rows() {
+        let t = a[(r, i)];
+        a[(r, i)] = a[(r, j)];
+        a[(r, j)] = t;
+    }
+    for r in 0..v.rows() {
+        let t = v[(r, i)];
+        v[(r, i)] = v[(r, j)];
+        v[(r, j)] = t;
+    }
+}
+
+/// Applies the 2-column transform
+/// `(col_i, col_j) ← (x·col_i + y·col_j, s·col_i + t·col_j)` to both
+/// matrices. The caller guarantees `x·t − y·s = ±1` so the transform is
+/// unimodular.
+#[allow(clippy::too_many_arguments)]
+fn combine_cols(a: &mut IMat, v: &mut IMat, i: usize, j: usize, x: i64, y: i64, s: i64, t: i64) {
+    debug_assert_eq!(
+        (x * t - y * s).abs(),
+        1,
+        "column transform must be unimodular"
+    );
+    for m in [a, v] {
+        for r in 0..m.rows() {
+            let ci = m[(r, i)];
+            let cj = m[(r, j)];
+            m[(r, i)] = x * ci + y * cj;
+            m[(r, j)] = s * ci + t * cj;
+        }
+    }
+}
+
+/// Completes a primitive row vector into a unimodular matrix.
+///
+/// Returns a square matrix `U` with `U.row(row) == g / gcd(g)` and
+/// `det(U) = ±1`. This realizes line 7 of Algorithm 1
+/// (`Unimodular_Layout_Transformation`): the solved partitioning row `gᵥ`
+/// determines `U`; the remaining rows are chosen to make `U` unimodular.
+///
+/// Returns `None` if `g` is the zero vector (no transformation exists).
+///
+/// # Examples
+///
+/// ```
+/// use hoploc_affine::{complete_unimodular, IVec};
+///
+/// let g = IVec::new(vec![1, 0]);
+/// let u = complete_unimodular(&g, 1).expect("non-zero row");
+/// assert!(u.is_unimodular());
+/// assert_eq!(u.row(1), g);
+/// ```
+pub fn complete_unimodular(g: &IVec, row: usize) -> Option<IMat> {
+    let n = g.len();
+    assert!(row < n, "target row out of bounds");
+    if g.is_zero() {
+        return None;
+    }
+    let g = g.to_primitive();
+
+    // Column-reduce g to (±1, 0, …, 0), tracking W = V⁻¹ with the inverse
+    // row operations, so that g = (first row of W) and W is unimodular.
+    let mut r = g.clone();
+    let mut w = IMat::identity(n);
+    // Gather the gcd into position 0.
+    if r[0] == 0 {
+        let c = (1..n).find(|&c| r[c] != 0).expect("non-zero vector");
+        let t = r[0];
+        r[0] = r[c];
+        r[c] = t;
+        w.swap_rows(0, c);
+    }
+    for c in 1..n {
+        if r[c] == 0 {
+            continue;
+        }
+        let p = r[0];
+        let q = r[c];
+        let (gd, x, y) = extended_gcd(p, q);
+        // Column op on r: (r0, rc) ← (x·r0 + y·rc, −(q/g)·r0 + (p/g)·rc) = (g, 0).
+        // Inverse row op on W: with C = [[x, −q/g], [y, p/g]] acting on
+        // columns (0, c), C⁻¹ = [[p/g, q/g], [−y, x]] (det C = 1), applied to
+        // rows (0, c) of W from the left.
+        r[0] = gd;
+        r[c] = 0;
+        let (pi, qi) = (p / gd, q / gd);
+        for col in 0..n {
+            let w0 = w[(0, col)];
+            let wc = w[(c, col)];
+            w[(0, col)] = pi * w0 + qi * wc;
+            w[(c, col)] = -y * w0 + x * wc;
+        }
+    }
+    debug_assert_eq!(r[0].abs(), 1, "primitive vector must reduce to ±1");
+    if r[0] == -1 {
+        // Negate: g = −(row 0 of W) ⇒ negate row 0.
+        for col in 0..n {
+            w[(0, col)] = -w[(0, col)];
+        }
+    }
+    debug_assert_eq!(w.row(0), g, "completion must place g on the first row");
+
+    // Move g from row 0 to the requested row.
+    w.swap_rows(0, row);
+    debug_assert!(w.is_unimodular());
+    Some(w)
+}
+
+/// Row-style Hermite normal form.
+///
+/// Returns `(h, t)` with `h = t · m`, `t` unimodular, and `h` in row
+/// echelon form where each pivot is positive and entries above a pivot are
+/// reduced modulo it. Used by Algorithm 1 (line 11) to repair a candidate
+/// transformation matrix that is not unimodular, and generally useful for
+/// lattice reasoning about layouts.
+///
+/// # Examples
+///
+/// ```
+/// use hoploc_affine::{hermite_normal_form, IMat};
+///
+/// let m = IMat::from_rows(&[&[2, 4], &[1, 3]]);
+/// let (h, t) = hermite_normal_form(&m);
+/// assert_eq!(&t * &m, h);
+/// assert!(t.is_unimodular());
+/// ```
+pub fn hermite_normal_form(m: &IMat) -> (IMat, IMat) {
+    let rows = m.rows();
+    let cols = m.cols();
+    let mut h = m.clone();
+    let mut t = IMat::identity(rows);
+
+    let mut pivot_row = 0;
+    for c in 0..cols {
+        if pivot_row >= rows {
+            break;
+        }
+        // Gather gcd of column segment into pivot_row via row ops.
+        let Some(first) = (pivot_row..rows).find(|&r| h[(r, c)] != 0) else {
+            continue;
+        };
+        if first != pivot_row {
+            h.swap_rows(pivot_row, first);
+            t.swap_rows(pivot_row, first);
+        }
+        for r in pivot_row + 1..rows {
+            while h[(r, c)] != 0 {
+                let q = h[(pivot_row, c)] / h[(r, c)];
+                // row[pivot] -= q * row[r]
+                for k in 0..cols {
+                    h[(pivot_row, k)] -= q * h[(r, k)];
+                }
+                for k in 0..rows {
+                    t[(pivot_row, k)] -= q * t[(r, k)];
+                }
+                h.swap_rows(pivot_row, r);
+                t.swap_rows(pivot_row, r);
+            }
+        }
+        if h[(pivot_row, c)] == 0 {
+            continue;
+        }
+        // Make pivot positive.
+        if h[(pivot_row, c)] < 0 {
+            for k in 0..cols {
+                h[(pivot_row, k)] = -h[(pivot_row, k)];
+            }
+            for k in 0..rows {
+                t[(pivot_row, k)] = -t[(pivot_row, k)];
+            }
+        }
+        // Reduce entries above the pivot.
+        let p = h[(pivot_row, c)];
+        for r in 0..pivot_row {
+            let q = h[(r, c)].div_euclid(p);
+            if q != 0 {
+                for k in 0..cols {
+                    h[(r, k)] -= q * h[(pivot_row, k)];
+                }
+                for k in 0..rows {
+                    t[(r, k)] -= q * t[(pivot_row, k)];
+                }
+            }
+        }
+        pivot_row += 1;
+    }
+    (h, t)
+}
+
+/// Solves `M·x = 0` preferring a solution aligned with a desired dimension.
+///
+/// Returns a primitive kernel vector, choosing — among the basis returned by
+/// [`nullspace`] — one with a non-zero component at `preferred` if any
+/// exists, otherwise the first basis vector. Returns `None` for a trivial
+/// kernel.
+///
+/// This mirrors the paper's example in §5.2, where solutions for different
+/// data partitioning dimensions `v` exist and the slowest-varying dimension
+/// is preferred.
+pub fn solve_homogeneous(m: &IMat, preferred: usize) -> Option<IVec> {
+    let basis = nullspace(m);
+    if basis.is_empty() {
+        return None;
+    }
+    basis
+        .iter()
+        .find(|b| preferred < b.len() && b[preferred] != 0)
+        .or(basis.first())
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nullspace_of_identity_is_trivial() {
+        assert!(nullspace(&IMat::identity(3)).is_empty());
+    }
+
+    #[test]
+    fn nullspace_vectors_annihilate() {
+        let m = IMat::from_rows(&[&[1, 2, 3], &[0, 1, 1]]);
+        let basis = nullspace(&m);
+        assert_eq!(basis.len(), 1);
+        for b in &basis {
+            assert!(m.mul_vec(b).is_zero(), "basis vector not in kernel: {b}");
+        }
+    }
+
+    #[test]
+    fn nullspace_of_zero_matrix_is_full() {
+        let m = IMat::zeros(2, 3);
+        let basis = nullspace(&m);
+        assert_eq!(basis.len(), 3);
+    }
+
+    #[test]
+    fn paper_example_z_transpose() {
+        // Figure 9(a): reference Z[j][i] in loop nest (i, j) with u = 1
+        // (the i-loop is parallel, iterators ordered (i, j)).
+        // Access matrix A = [[0, 1], [1, 0]] (row 0 indexes with j, row 1 with i).
+        // B = A without the u-th (i) column = [[1], [0]]ᵀ → column vector (1, 0)?
+        // In the paper u = 1 refers to the first iterator (i), so we drop
+        // column 0: B = [[1], [0]].
+        let a = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let b = a.drop_col(0);
+        // Solve Bᵀ g = 0: Bᵀ = [1, 0], kernel spanned by (0, 1).
+        let g = solve_homogeneous(&b.transpose(), 0).expect("kernel exists");
+        assert_eq!(b.transpose().mul_vec(&g), IVec::zeros(1));
+        // The paper says for v = 2 (second data dim, index 1) the solution has
+        // a 1 in position 0 — i.e. gᵥ = (0, 1) means data dim 2 tracks j? In
+        // our orientation the kernel of [1 0] is (0, ±1).
+        assert_eq!(g.to_primitive().as_slice()[0], 0);
+        assert_ne!(g[1], 0);
+    }
+
+    #[test]
+    fn complete_unimodular_places_row() {
+        let g = IVec::new(vec![2, 3]);
+        let u = complete_unimodular(&g, 0).unwrap();
+        assert!(u.is_unimodular());
+        assert_eq!(u.row(0), g); // (2,3) is already primitive
+    }
+
+    #[test]
+    fn complete_unimodular_divides_gcd() {
+        let g = IVec::new(vec![2, 4]);
+        let u = complete_unimodular(&g, 1).unwrap();
+        assert!(u.is_unimodular());
+        assert_eq!(u.row(1), IVec::new(vec![1, 2]));
+    }
+
+    #[test]
+    fn complete_unimodular_zero_is_none() {
+        assert!(complete_unimodular(&IVec::zeros(3), 0).is_none());
+    }
+
+    #[test]
+    fn complete_unimodular_various_rows() {
+        for n in 1..5usize {
+            for row in 0..n {
+                let g = IVec::new((0..n as i64).map(|i| 3 * i - 2).collect());
+                let u = complete_unimodular(&g, row).unwrap();
+                assert!(u.is_unimodular(), "not unimodular for n={n} row={row}");
+                assert_eq!(u.row(row), g.to_primitive());
+            }
+        }
+    }
+
+    #[test]
+    fn hnf_reconstructs() {
+        let m = IMat::from_rows(&[&[4, 6], &[2, 2], &[0, 8]]);
+        let (h, t) = hermite_normal_form(&m);
+        assert_eq!(&t * &m, h);
+        assert!(t.is_unimodular());
+        // Echelon shape: entry below first pivot must be 0.
+        assert_eq!(h[(1, 0)], 0);
+        assert_eq!(h[(2, 0)], 0);
+        assert_eq!(h[(2, 1)], 0);
+    }
+
+    #[test]
+    fn hnf_pivots_positive() {
+        let m = IMat::from_rows(&[&[-3, 1], &[1, -2]]);
+        let (h, t) = hermite_normal_form(&m);
+        assert_eq!(&t * &m, h);
+        assert!(h[(0, 0)] > 0);
+    }
+
+    #[test]
+    fn solve_homogeneous_prefers_dimension() {
+        // Kernel of the 1x3 zero map is everything; prefer dim 2.
+        let m = IMat::zeros(1, 3);
+        let g = solve_homogeneous(&m, 2).unwrap();
+        assert_ne!(g[2], 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Loop transformations with dependence-based legality checking.
+//!
+//! The paper's pass runs *after* "a loop transformation guided by array
+//! dependence analysis [that] restructures the intermediate code for
+//! improving both parallelism and data locality" (§6.1). This module
+//! provides that pre-pass: loop permutation (with lexicographic-positivity
+//! legality), automatic selection of an outermost parallel loop, and
+//! rectangular tiling — and, by contrast, shows concretely why the paper
+//! chose data transformations for its own goal: every one of these is
+//! gated on dependences, while `AffineAccess::transformed` never is.
+
+use crate::dependence::{nest_dependences, Dependence};
+use crate::matrix::{IMat, IVec};
+use crate::nest::{AccessFn, ArrayRef, Loop, LoopNest, Statement};
+
+/// Why a loop transformation was refused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TransformError {
+    /// The permutation vector is not a permutation of `0..depth`.
+    NotAPermutation,
+    /// A dependence distance becomes lexicographically negative under the
+    /// transformation — it would reverse a producer/consumer pair.
+    IllegalByDependence,
+    /// A dependence could not be characterized, so legality cannot be
+    /// proven (indexed references, coupled subscripts).
+    UnknownDependence,
+    /// Loop bounds depend on iterators in a way the transformation cannot
+    /// re-derive (non-rectangular in the permuted dimensions).
+    NonRectangularBounds,
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::NotAPermutation => write!(f, "not a permutation of the loop depths"),
+            TransformError::IllegalByDependence => {
+                write!(f, "transformation reverses a dependence")
+            }
+            TransformError::UnknownDependence => {
+                write!(
+                    f,
+                    "dependences cannot be characterized; refusing conservatively"
+                )
+            }
+            TransformError::NonRectangularBounds => {
+                write!(
+                    f,
+                    "loop bounds are not rectangular in the permuted dimensions"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Whether a distance vector stays lexicographically non-negative after
+/// reordering its components by `perm` (entry `k` of the new vector is
+/// component `perm[k]` of the old one).
+fn still_lex_nonneg(d: &IVec, perm: &[usize]) -> bool {
+    for &p in perm {
+        match d[p].cmp(&0) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// Checks that every characterizable dependence of the nest remains
+/// lexicographically non-negative under the permutation.
+pub fn permutation_is_legal(nest: &LoopNest, perm: &[usize]) -> Result<(), TransformError> {
+    let depth = nest.depth();
+    let mut seen = vec![false; depth];
+    if perm.len() != depth {
+        return Err(TransformError::NotAPermutation);
+    }
+    for &p in perm {
+        if p >= depth || seen[p] {
+            return Err(TransformError::NotAPermutation);
+        }
+        seen[p] = true;
+    }
+    for dep in nest_dependences(nest) {
+        match dep {
+            Dependence::Independent => {}
+            Dependence::Uniform(d) => {
+                // Normalize the direction: distances may be reported
+                // source→sink or sink→source; a legal order preserves
+                // whichever orientation was non-negative originally.
+                let oriented = if is_lex_nonneg(&d) { d } else { -&d };
+                if !still_lex_nonneg(&oriented, perm) {
+                    return Err(TransformError::IllegalByDependence);
+                }
+            }
+            Dependence::Unknown => return Err(TransformError::UnknownDependence),
+        }
+    }
+    Ok(())
+}
+
+fn is_lex_nonneg(d: &IVec) -> bool {
+    for k in 0..d.len() {
+        match d[k].cmp(&0) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// Permutes the loops of a rectangular nest, rewriting every affine
+/// reference's access matrix (`A' = A·Pᵀ` so that `A'·i⃗' = A·i⃗`).
+///
+/// `perm[k]` names the old loop that becomes new loop `k`. The parallel
+/// dimension follows its loop.
+///
+/// # Errors
+///
+/// Refuses non-permutations, dependence-reversing orders, nests with
+/// uncharacterizable dependences, and nests whose bounds couple the
+/// permuted loops.
+pub fn permute_loops(nest: &LoopNest, perm: &[usize]) -> Result<LoopNest, TransformError> {
+    permutation_is_legal(nest, perm)?;
+    let depth = nest.depth();
+    // Rectangularity: every loop's bounds must be constant (bounds that
+    // reference outer iterators would need re-derivation under reorder).
+    for l in nest.loops() {
+        if !l.lower.is_constant() || !l.upper.is_constant() {
+            return Err(TransformError::NonRectangularBounds);
+        }
+    }
+    let loops: Vec<Loop> = perm.iter().map(|&p| nest.loops()[p].clone()).collect();
+    let new_parallel = perm
+        .iter()
+        .position(|&p| p == nest.parallel_dim())
+        .expect("permutation covers every dim");
+
+    // Column permutation matrix P with P[(k, perm[k])] = 1: i⃗ = P·i⃗'.
+    let mut p_mat = IMat::zeros(depth, depth);
+    for (k, &p) in perm.iter().enumerate() {
+        p_mat[(p, k)] = 1;
+    }
+    let body: Vec<Statement> = nest
+        .body()
+        .iter()
+        .map(|s| {
+            Statement::new(
+                s.refs
+                    .iter()
+                    .map(|r| ArrayRef {
+                        array: r.array,
+                        kind: r.kind,
+                        access: match &r.access {
+                            AccessFn::Affine(a) => {
+                                AccessFn::Affine(crate::access::AffineAccess::new(
+                                    a.matrix() * &p_mat,
+                                    a.offset().clone(),
+                                ))
+                            }
+                            // Indexed positions would need the same column
+                            // permutation; conservatively impossible here
+                            // because legality already rejected Unknown.
+                            AccessFn::Indexed { table, pos } => AccessFn::Indexed {
+                                table: *table,
+                                pos: pos.clone(),
+                            },
+                        },
+                    })
+                    .collect(),
+                s.compute_cycles,
+            )
+        })
+        .collect();
+    Ok(LoopNest::new(loops, new_parallel, body, nest.weight()))
+}
+
+/// Finds the outermost loop that can legally run parallel (no carried
+/// dependence), if any — the parallelization step of the paper's pre-pass.
+pub fn find_parallel_loop(nest: &LoopNest) -> Option<usize> {
+    let deps = nest_dependences(nest);
+    (0..nest.depth()).find(|&u| deps.iter().all(|d| d.permits_parallel(u)))
+}
+
+/// Rectangularly tiles loop `k` of a nest by `tile`: the loop splits into
+/// a tile loop over `⌈extent/tile⌉` tiles and an intra-tile loop, with
+/// every reference rewritten through the split (`i_k = tile·t + j`).
+///
+/// Tiling a single loop by strip-mining is always legal (it only groups
+/// iterations without reordering them).
+///
+/// # Panics
+///
+/// Panics if `k` is out of range or `tile == 0`.
+pub fn strip_mine_loop(nest: &LoopNest, k: usize, tile: i64) -> Result<LoopNest, TransformError> {
+    assert!(k < nest.depth(), "loop index out of range");
+    assert!(tile > 0, "tile size must be positive");
+    let l = &nest.loops()[k];
+    if !l.lower.is_constant() || !l.upper.is_constant() {
+        return Err(TransformError::NonRectangularBounds);
+    }
+    let lo = l.lower.eval(&[]);
+    let hi = l.upper.eval(&[]);
+    let tiles = (hi - lo + tile - 1) / tile.max(1);
+
+    let depth = nest.depth();
+    // New iteration order: loops 0..k, tile loop, 0-based intra loop,
+    // loops k+1… . Old iterator i_k = lo + tile·t + j.
+    let mut loops: Vec<Loop> = Vec::with_capacity(depth + 1);
+    loops.extend(nest.loops()[..k].iter().cloned());
+    loops.push(Loop::constant(0, tiles));
+    loops.push(Loop::constant(0, tile.min(hi - lo).max(1)));
+    loops.extend(nest.loops()[k + 1..].iter().cloned());
+
+    // Column map old→new: old column c (≠ k) reads new column (c or c+1);
+    // old column k becomes tile·(col k) + (col k+1), plus constant lo.
+    let expand = |a: &crate::access::AffineAccess| {
+        let m = a.matrix();
+        let mut out = IMat::zeros(m.rows(), depth + 1);
+        let mut off = a.offset().clone();
+        for r in 0..m.rows() {
+            for c in 0..depth {
+                let v = m[(r, c)];
+                if c < k {
+                    out[(r, c)] = v;
+                } else if c == k {
+                    out[(r, k)] = v * tile;
+                    out[(r, k + 1)] = v;
+                    off[r] += v * lo;
+                } else {
+                    out[(r, c + 1)] = v;
+                }
+            }
+        }
+        crate::access::AffineAccess::new(out, off)
+    };
+    let body: Vec<Statement> = nest
+        .body()
+        .iter()
+        .map(|s| {
+            Statement::new(
+                s.refs
+                    .iter()
+                    .map(|r| ArrayRef {
+                        array: r.array,
+                        kind: r.kind,
+                        access: match &r.access {
+                            AccessFn::Affine(a) => AccessFn::Affine(expand(a)),
+                            AccessFn::Indexed { .. } => r.access.clone(),
+                        },
+                    })
+                    .collect(),
+                s.compute_cycles,
+            )
+        })
+        .collect();
+    let parallel = if nest.parallel_dim() <= k {
+        nest.parallel_dim()
+    } else {
+        nest.parallel_dim() + 1
+    };
+    Ok(LoopNest::new(loops, parallel, body, nest.weight()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AffineAccess;
+    use crate::nest::ArrayId;
+
+    fn stencil(down: bool) -> LoopNest {
+        // X[i][j] = X[i][j-1] (down=false) or X[i-1][j] (down=true).
+        let m = IMat::identity(2);
+        let off = if down { vec![-1, 0] } else { vec![0, -1] };
+        LoopNest::new(
+            vec![Loop::constant(1, 16), Loop::constant(1, 16)],
+            0,
+            vec![Statement::new(
+                vec![
+                    ArrayRef::write(ArrayId(0), AffineAccess::new(m.clone(), IVec::zeros(2))),
+                    ArrayRef::read(ArrayId(0), AffineAccess::new(m, IVec::new(off))),
+                ],
+                1,
+            )],
+            1,
+        )
+    }
+
+    #[test]
+    fn legal_permutation_swaps_access_columns() {
+        // Dependence (0, 1): interchange gives (1, 0) — still lex-positive.
+        let nest = stencil(false);
+        let out = permute_loops(&nest, &[1, 0]).expect("interchange is legal");
+        assert_eq!(out.depth(), 2);
+        // X[i][j] became X[i'₁][i'₀]: the access matrix is the swap.
+        let a = out.body()[0].refs[0].access.as_affine().unwrap();
+        assert_eq!(a.matrix(), &IMat::from_rows(&[&[0, 1], &[1, 0]]));
+        // Parallel dim followed its loop (old 0 → new 1).
+        assert_eq!(out.parallel_dim(), 1);
+    }
+
+    #[test]
+    fn permuted_accesses_touch_the_same_elements() {
+        let nest = stencil(false);
+        let out = permute_loops(&nest, &[1, 0]).unwrap();
+        let before = nest.body()[0].refs[1].access.as_affine().unwrap();
+        let after = out.body()[0].refs[1].access.as_affine().unwrap();
+        for i in 1..16 {
+            for j in 1..16 {
+                assert_eq!(
+                    before.eval_slice(&[i, j]),
+                    after.eval_slice(&[j, i]),
+                    "element mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_always_legal() {
+        for down in [false, true] {
+            assert!(permute_loops(&stencil(down), &[0, 1]).is_ok());
+        }
+    }
+
+    #[test]
+    fn interchange_both_orientations() {
+        // A single uniform dependence (1,0) or (0,1) stays lex-positive
+        // under interchange, so both stencils interchange legally; a nest
+        // with distance (1,-1) must NOT.
+        let m = IMat::identity(2);
+        let skew = LoopNest::new(
+            vec![Loop::constant(1, 16), Loop::constant(1, 16)],
+            0,
+            vec![Statement::new(
+                vec![
+                    ArrayRef::write(ArrayId(0), AffineAccess::new(m.clone(), IVec::zeros(2))),
+                    ArrayRef::read(ArrayId(0), AffineAccess::new(m, IVec::new(vec![-1, 1]))),
+                ],
+                1,
+            )],
+            1,
+        );
+        assert_eq!(
+            permute_loops(&skew, &[1, 0]).unwrap_err(),
+            TransformError::IllegalByDependence
+        );
+    }
+
+    #[test]
+    fn bad_permutations_are_rejected() {
+        let nest = stencil(false);
+        assert_eq!(
+            permute_loops(&nest, &[0, 0]).unwrap_err(),
+            TransformError::NotAPermutation
+        );
+        assert_eq!(
+            permute_loops(&nest, &[0]).unwrap_err(),
+            TransformError::NotAPermutation
+        );
+    }
+
+    #[test]
+    fn find_parallel_loop_picks_uncarried_dim() {
+        // X[i][j] = X[i][j-1]: carried by loop 1 → loop 0 is parallel.
+        assert_eq!(find_parallel_loop(&stencil(false)), Some(0));
+        // X[i][j] = X[i-1][j]: carried by loop 0 → loop 1 is parallel.
+        assert_eq!(find_parallel_loop(&stencil(true)), Some(1));
+    }
+
+    #[test]
+    fn strip_mining_preserves_touched_elements() {
+        let nest = stencil(false);
+        let tiled = strip_mine_loop(&nest, 1, 4).expect("strip-mining is legal");
+        assert_eq!(tiled.depth(), 3);
+        // Collect elements touched by the write in both versions.
+        let collect = |n: &LoopNest| {
+            let mut v = Vec::new();
+            n.walk_core_iterations(0, 1, &vec![1; n.depth()], |it| {
+                let a = n.body()[0].refs[0].access.as_affine().unwrap();
+                let e = a.eval_slice(it);
+                if (1..16).contains(&e[0]) && (1..16).contains(&e[1]) {
+                    v.push((e[0], e[1]));
+                }
+            });
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        assert_eq!(collect(&nest), collect(&tiled));
+    }
+
+    #[test]
+    fn strip_mining_shifts_parallel_dim() {
+        let nest = stencil(true); // parallel dim 0
+        let tiled = strip_mine_loop(&nest, 0, 4).unwrap();
+        // Splitting the parallel loop keeps the tile loop parallel.
+        assert_eq!(tiled.parallel_dim(), 0);
+        let nest2 = stencil(false);
+        let tiled2 = strip_mine_loop(&nest2, 1, 4).unwrap();
+        assert_eq!(tiled2.parallel_dim(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the integer linear algebra invariants that the
+//! layout pass's correctness rests on.
+
+use hoploc_affine::{
+    complete_unimodular, gcd, hermite_normal_form, nullspace, AffineAccess, IMat, IVec,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small non-zero integer vector.
+fn small_vec(len: usize) -> impl Strategy<Value = IVec> {
+    proptest::collection::vec(-9i64..=9, len)
+        .prop_filter("non-zero", |v| v.iter().any(|&x| x != 0))
+        .prop_map(IVec::new)
+}
+
+/// Strategy: a small matrix of the given shape.
+fn small_mat(rows: usize, cols: usize) -> impl Strategy<Value = IMat> {
+    proptest::collection::vec(-6i64..=6, rows * cols)
+        .prop_map(move |data| IMat::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn completion_is_always_unimodular(v in small_vec(4), row in 0usize..4) {
+        let u = complete_unimodular(&v, row).expect("non-zero vector completes");
+        prop_assert!(u.is_unimodular());
+        prop_assert_eq!(u.row(row), v.to_primitive());
+    }
+
+    #[test]
+    fn completion_inverse_roundtrips(v in small_vec(3), row in 0usize..3) {
+        let u = complete_unimodular(&v, row).expect("non-zero vector completes");
+        let inv = u.inverse_unimodular();
+        prop_assert_eq!(&u * &inv, IMat::identity(3));
+    }
+
+    #[test]
+    fn nullspace_vectors_annihilate(m in small_mat(2, 4)) {
+        for b in nullspace(&m) {
+            prop_assert!(m.mul_vec(&b).is_zero(), "basis vector not in kernel");
+            prop_assert_eq!(b.gcd(), 1, "basis vectors are primitive");
+        }
+    }
+
+    #[test]
+    fn nullspace_dimension_bound(m in small_mat(3, 3)) {
+        // rank + nullity = 3; nullity is 3 iff the matrix is zero.
+        let basis = nullspace(&m);
+        prop_assert!(basis.len() <= 3);
+        if m.det() != 0 {
+            prop_assert!(basis.is_empty(), "nonsingular matrix has trivial kernel");
+        } else {
+            prop_assert!(!basis.is_empty(), "singular matrix has non-trivial kernel");
+        }
+    }
+
+    #[test]
+    fn hnf_is_a_unimodular_row_transform(m in small_mat(3, 4)) {
+        let (h, t) = hermite_normal_form(&m);
+        prop_assert!(t.is_unimodular());
+        prop_assert_eq!(&t * &m, h);
+    }
+
+    #[test]
+    fn det_is_multiplicative(a in small_mat(3, 3), b in small_mat(3, 3)) {
+        prop_assert_eq!((&a * &b).det(), a.det() * b.det());
+    }
+
+    #[test]
+    fn transpose_preserves_det(m in small_mat(3, 3)) {
+        prop_assert_eq!(m.det(), m.transpose().det());
+    }
+
+    #[test]
+    fn gcd_divides_both(a in -1000i64..1000, b in -1000i64..1000) {
+        let g = gcd(a, b);
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!((a, b), (0, 0));
+        }
+    }
+
+    #[test]
+    fn access_transform_commutes_with_eval(
+        m in small_mat(2, 2),
+        off in proptest::collection::vec(-4i64..=4, 2),
+        i0 in 0i64..16,
+        i1 in 0i64..16,
+    ) {
+        // (U·r)(i) == U·(r(i)) for any transformation matrix U.
+        let access = AffineAccess::new(m, IVec::new(off));
+        let u = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let iv = IVec::new(vec![i0, i1]);
+        let direct = access.transformed(&u).eval(&iv);
+        let indirect = u.mul_vec(&access.eval(&iv));
+        prop_assert_eq!(direct, indirect);
+    }
+}

@@ -1,0 +1,177 @@
+//! Ablations of the design decisions DESIGN.md calls out:
+//!
+//! 1. weighted submatrix selection (§5.2) vs first-reference;
+//! 2. the shared-L2 on-chip-first vs off-chip-first priority (§5.3);
+//! 3. link-contention modelling on/off (where the on-chip gains come
+//!    from, per the Figure 15 discussion);
+//! 4. the indexed-approximation threshold (§5.4, 30%);
+//! 5. the core memory-level parallelism assumed;
+//! 6. dirty-line writebacks on/off;
+//! 7. the DRAM row-buffer policy (open vs closed page).
+//!
+//! Each ablation runs a small representative subset to stay fast.
+
+use hoploc_bench::{banner, exec_saving, m1, standard_config};
+use hoploc_layout::{Granularity, L2Mode, SharedPolicy};
+use hoploc_sim::{AddressSpace, PagePolicy, Simulator};
+use hoploc_workloads::{ammp, apsi, generate_traces, run_app, swim, wupwise, App, RunKind, Scale};
+
+/// Runs one app with an explicitly customized pass configuration.
+fn run_custom(
+    app: &App,
+    sim: &hoploc_sim::SimConfig,
+    mapping: &hoploc_noc::L2ToMcMapping,
+    tweak: impl FnOnce(&mut hoploc_layout::PassConfig),
+) -> hoploc_sim::RunStats {
+    let mut pass = hoploc_layout::PassConfig {
+        granularity: sim.granularity,
+        l2_mode: sim.l2_mode,
+        line_bytes: sim.l2.line_bytes as u32,
+        page_bytes: sim.page_bytes as u32,
+        ..hoploc_layout::PassConfig::default()
+    };
+    tweak(&mut pass);
+    let layout = hoploc_layout::optimize_program(&app.program, mapping, pass);
+    let space = AddressSpace::build(&app.program, &layout, 0);
+    let traces = generate_traces(&app.program, &layout, &space, &app.gen);
+    let mut cfg = sim.clone();
+    cfg.mlp = app.mlp;
+    Simulator::new(cfg, mapping.clone(), PagePolicy::Interleaved).run(&traces)
+}
+
+fn main() {
+    banner("Ablations", "design-decision sensitivity studies");
+    let sim = standard_config(Granularity::CacheLine);
+    let mapping = m1(sim.mesh);
+
+    // 1. Shared-L2 localization priority.
+    {
+        let mut shared = sim.clone();
+        shared.l2_mode = L2Mode::Shared;
+        let app = swim(Scale::Bench);
+        let base = run_app(&app, &mapping, &shared, RunKind::Baseline);
+        let on_first = run_custom(&app, &shared, &mapping, |p| {
+            p.shared_policy = SharedPolicy::OnChipFirst;
+        });
+        let off_first = run_custom(&app, &shared, &mapping, |p| {
+            p.shared_policy = SharedPolicy::OffChipFirst;
+        });
+        println!("\n[shared-L2 priority] swim exec saving:");
+        println!(
+            "  on-chip-first  (paper default): {:>6.1}%",
+            exec_saving(&base, &on_first)
+        );
+        println!(
+            "  off-chip-first (alternative)  : {:>6.1}%",
+            exec_saving(&base, &off_first)
+        );
+    }
+
+    // 2. Indexed-approximation threshold.
+    {
+        let app = ammp(Scale::Bench);
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let strict = run_custom(&app, &sim, &mapping, |p| p.approx_threshold = 0.0);
+        let paper = run_custom(&app, &sim, &mapping, |p| p.approx_threshold = 0.30);
+        let loose = run_custom(&app, &sim, &mapping, |p| p.approx_threshold = 1.0);
+        println!("\n[approximation threshold] ammp exec saving:");
+        println!(
+            "  0%  (never approximate)  : {:>6.1}%",
+            exec_saving(&base, &strict)
+        );
+        println!(
+            "  30% (paper)              : {:>6.1}%",
+            exec_saving(&base, &paper)
+        );
+        println!(
+            "  100% (optimize everything): {:>6.1}%",
+            exec_saving(&base, &loose)
+        );
+    }
+
+    // 3. Link contention on/off: where do on-chip gains come from?
+    {
+        let app = apsi(Scale::Bench);
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        let mut nocont = sim.clone();
+        nocont.noc.contention = false;
+        let base_nc = run_app(&app, &mapping, &nocont, RunKind::Baseline);
+        let opt_nc = run_app(&app, &mapping, &nocont, RunKind::Optimized);
+        println!("\n[link contention] apsi exec saving:");
+        println!(
+            "  contended links (real)   : {:>6.1}%",
+            exec_saving(&base, &opt)
+        );
+        println!(
+            "  contention-free links    : {:>6.1}%",
+            exec_saving(&base_nc, &opt_nc)
+        );
+        println!("  (the gap is the congestion-relief component of the gains)");
+    }
+
+    // 4b. Writeback traffic sensitivity.
+    {
+        let app = swim(Scale::Bench);
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        let mut wb = sim.clone();
+        wb.writebacks = true;
+        let base_wb = run_app(&app, &mapping, &wb, RunKind::Baseline);
+        let opt_wb = run_app(&app, &mapping, &wb, RunKind::Optimized);
+        println!("\n[writebacks] swim exec saving:");
+        println!(
+            "  without writeback traffic: {:>6.1}%",
+            exec_saving(&base, &opt)
+        );
+        println!(
+            "  with writeback traffic   : {:>6.1}%  ({} writebacks localized too)",
+            exec_saving(&base_wb, &opt_wb),
+            opt_wb.writebacks
+        );
+    }
+
+    // 4c. DRAM row-buffer policy.
+    {
+        let app = swim(Scale::Bench);
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        let mut closed = sim.clone();
+        closed.mc.row_policy = hoploc_mem::RowPolicy::Closed;
+        let base_c = run_app(&app, &mapping, &closed, RunKind::Baseline);
+        let opt_c = run_app(&app, &mapping, &closed, RunKind::Optimized);
+        println!("\n[row-buffer policy] swim exec saving:");
+        println!(
+            "  open page (FR-FCFS)      : {:>6.1}%",
+            exec_saving(&base, &opt)
+        );
+        println!(
+            "  closed page              : {:>6.1}%",
+            exec_saving(&base_c, &opt_c)
+        );
+    }
+
+    // 4. Core MLP sensitivity.
+    {
+        let mut app = wupwise(Scale::Bench);
+        let base1;
+        let opt1;
+        {
+            app.mlp = 1;
+            base1 = run_app(&app, &mapping, &sim, RunKind::Baseline);
+            opt1 = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        }
+        app.mlp = 4;
+        let base4 = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt4 = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        println!("\n[core MLP] wupwise exec saving:");
+        println!(
+            "  blocking cores (mlp=1)   : {:>6.1}%",
+            exec_saving(&base1, &opt1)
+        );
+        println!(
+            "  4 outstanding misses     : {:>6.1}%",
+            exec_saving(&base4, &opt4)
+        );
+    }
+}

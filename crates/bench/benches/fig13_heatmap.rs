@@ -1,0 +1,47 @@
+//! Figure 13: spatial distribution of off-chip accesses destined for MC1,
+//! for apsi, original vs optimized. In the original case requests come
+//! from all over the chip; optimized, they skew toward the nearby
+//! (top-left) quadrant.
+
+use hoploc_bench::{banner, m1, standard_config};
+use hoploc_layout::Granularity;
+use hoploc_sim::RunStats;
+use hoploc_workloads::{apsi, run_app, RunKind, Scale};
+
+fn print_map(label: &str, stats: &RunStats, width: usize) {
+    println!("\n{label}: share of MC1's requests from each node (x100)");
+    let shares = stats.mc_request_shares(0);
+    for y in 0..shares.len() / width {
+        for x in 0..width {
+            print!("{:>5.1}", shares[y * width + x] * 100.0);
+        }
+        println!();
+    }
+    // Quadrant concentration: how much of MC1's traffic originates in its
+    // own (top-left) quadrant.
+    let mut own = 0.0;
+    for y in 0..width / 2 {
+        for x in 0..width / 2 {
+            own += shares[y * width + x];
+        }
+    }
+    println!(
+        "top-left quadrant share of MC1 traffic: {:.1}%",
+        own * 100.0
+    );
+}
+
+fn main() {
+    banner(
+        "Figure 13",
+        "apsi: node-wise distribution of accesses to MC1",
+    );
+    let sim = standard_config(Granularity::CacheLine);
+    let mapping = m1(sim.mesh);
+    let app = apsi(Scale::Bench);
+    let width = sim.mesh.width() as usize;
+    let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+    print_map("ORIGINAL", &base, width);
+    let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+    print_map("OPTIMIZED", &opt, width);
+}

@@ -1,0 +1,29 @@
+//! Figure 16: the four headline reductions under **cache-line
+//! interleaving** — the paper's main result. Paper averages:
+//! 13.6% / 66.4% / 45.8% / 20.5%.
+
+use hoploc_bench::{
+    banner, four_metric_avg, four_metric_header, four_metric_row, m1, standard_config, suite,
+};
+use hoploc_layout::Granularity;
+use hoploc_sim::Improvement;
+use hoploc_workloads::{run_app, RunKind};
+
+fn main() {
+    banner(
+        "Figure 16",
+        "optimized vs baseline (cache-line interleaving, private L2)",
+    );
+    let sim = standard_config(Granularity::CacheLine);
+    let mapping = m1(sim.mesh);
+    four_metric_header();
+    let mut rows = Vec::new();
+    for app in suite() {
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        let imp = Improvement::between(&base, &opt);
+        four_metric_row(app.name(), &imp);
+        rows.push(imp);
+    }
+    four_metric_avg(&rows);
+}

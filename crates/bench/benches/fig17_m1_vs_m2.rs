@@ -1,0 +1,32 @@
+//! Figure 17: execution-time savings under the M1 (quadrant, k=1) vs M2
+//! (halves, k=2) L2-to-MC mappings. The paper finds M1 better for most
+//! applications — locality beats memory-level parallelism — with fma3d and
+//! minighost as the exceptions. The last column shows which mapping the
+//! compiler's §4 selection analysis picks from the two candidates.
+
+use hoploc_bench::{banner, exec_saving, m1, m2, standard_config, suite};
+use hoploc_layout::{select_mapping, Granularity, SelectModel};
+use hoploc_workloads::{run_app, RunKind};
+
+fn main() {
+    banner("Figure 17", "execution-time savings: M1 vs M2 mappings");
+    let sim = standard_config(Granularity::CacheLine);
+    let m1 = m1(sim.mesh);
+    let m2 = m2(sim.mesh);
+    let candidates = [m1.clone(), m2.clone()];
+    let model = SelectModel::default();
+    println!("{:<11} {:>8} {:>8} {:>10}", "app", "M1", "M2", "compiler");
+    for app in suite() {
+        let base = run_app(&app, &m1, &sim, RunKind::Baseline);
+        let o1 = run_app(&app, &m1, &sim, RunKind::Optimized);
+        let o2 = run_app(&app, &m2, &sim, RunKind::Optimized);
+        let pick = select_mapping(&candidates, &app.profile, &model);
+        println!(
+            "{:<11} {:>7.1}% {:>7.1}% {:>10}",
+            app.name(),
+            exec_saving(&base, &o1),
+            exec_saving(&base, &o2),
+            if pick == 0 { "M1" } else { "M2" }
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 18: bank-queue utilization (average occupancy) per application
+//! under the M1 mapping. The paper's point: fma3d and minighost show far
+//! higher occupancy than the rest — the memory-parallelism demand that
+//! makes them prefer M2.
+
+use hoploc_bench::{banner, bar, m1, standard_config, suite};
+use hoploc_layout::Granularity;
+use hoploc_workloads::{run_app, RunKind};
+
+fn main() {
+    banner(
+        "Figure 18",
+        "bank queue occupancy under M1 (optimized runs)",
+    );
+    let sim = standard_config(Granularity::CacheLine);
+    let mapping = m1(sim.mesh);
+    println!("{:<11} {:>10}", "app", "occupancy");
+    for app in suite() {
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        let occ = opt.bank_queue_occupancy();
+        println!("{:<11} {:>10.2}  {}", app.name(), occ, bar(occ, 4.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 19: execution-time savings under three MC placements — P1
+//! (corners, Figure 8a), P2 (edge midpoints, Figure 26a), and P3
+//! (diagonal, Figure 26b). The paper finds P2 slightly best (~20.7% avg)
+//! because its average distance-to-controller is lowest.
+
+use hoploc_bench::{banner, exec_saving, standard_config, suite};
+use hoploc_layout::Granularity;
+use hoploc_noc::{L2ToMcMapping, McPlacement};
+use hoploc_sim::SimConfig;
+use hoploc_workloads::{run_app, RunKind};
+
+fn main() {
+    banner(
+        "Figure 19",
+        "execution-time savings under MC placements P1/P2/P3",
+    );
+    let base_cfg = standard_config(Granularity::CacheLine);
+    let placements = [
+        ("P1", McPlacement::Corners),
+        ("P2", McPlacement::EdgeMidpoints),
+        ("P3", McPlacement::Diagonal),
+    ];
+    println!("{:<11} {:>8} {:>8} {:>8}", "app", "P1", "P2", "P3");
+    let apps = suite();
+    let mut avgs = [0.0f64; 3];
+    for app in &apps {
+        let mut row = Vec::new();
+        for (_, placement) in &placements {
+            let sim = SimConfig {
+                placement: placement.clone(),
+                ..base_cfg.clone()
+            };
+            let mapping = L2ToMcMapping::nearest_cluster(sim.mesh, placement);
+            let base = run_app(app, &mapping, &sim, RunKind::Baseline);
+            let opt = run_app(app, &mapping, &sim, RunKind::Optimized);
+            row.push(exec_saving(&base, &opt));
+        }
+        println!(
+            "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
+            app.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
+        for (a, r) in avgs.iter_mut().zip(&row) {
+            *a += r;
+        }
+    }
+    println!("{}", "-".repeat(40));
+    println!(
+        "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
+        "AVERAGE",
+        avgs[0] / apps.len() as f64,
+        avgs[1] / apps.len() as f64,
+        avgs[2] / apps.len() as f64
+    );
+}

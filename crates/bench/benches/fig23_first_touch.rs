@@ -1,0 +1,42 @@
+//! Figure 23: execution-time improvement of the compiler scheme (with
+//! page interleaving and the OS assist) over the OS first-touch policy.
+//! The paper reports 12.3% on average; first-touch holds its own only
+//! where the first toucher is also the dominant accessor (wupwise,
+//! gafort, minimd).
+
+use hoploc_bench::{banner, exec_saving, m1, standard_config, suite};
+use hoploc_layout::Granularity;
+use hoploc_workloads::{run_app, RunKind};
+
+fn main() {
+    banner(
+        "Figure 23",
+        "compiler scheme vs OS first-touch (page interleaving)",
+    );
+    let sim = standard_config(Granularity::Page);
+    let mapping = m1(sim.mesh);
+    println!(
+        "{:<11} {:>14} {:>20}",
+        "app", "vs first-touch", "first-touch friendly"
+    );
+    let apps = suite();
+    let mut sum = 0.0;
+    for app in &apps {
+        let ft = run_app(app, &mapping, &sim, RunKind::FirstTouch);
+        let opt = run_app(app, &mapping, &sim, RunKind::Optimized);
+        let gain = exec_saving(&ft, &opt);
+        sum += gain;
+        println!(
+            "{:<11} {:>13.1}% {:>20}",
+            app.name(),
+            gain,
+            if app.first_touch_friendly {
+                "yes"
+            } else {
+                "no"
+            }
+        );
+    }
+    println!("{}", "-".repeat(50));
+    println!("{:<11} {:>13.1}%", "AVERAGE", sum / apps.len() as f64);
+}

@@ -1,0 +1,27 @@
+//! Figure 3: contribution of off-chip data accesses to total dynamic data
+//! accesses (8×8 mesh, private L2s, page interleaving — the paper reports
+//! a 22.4% average).
+
+use hoploc_bench::{banner, bar, m1, standard_config, suite};
+use hoploc_layout::Granularity;
+use hoploc_workloads::{run_app, RunKind};
+
+fn main() {
+    banner(
+        "Figure 3",
+        "off-chip share of dynamic data accesses (baseline)",
+    );
+    let sim = standard_config(Granularity::Page);
+    let mapping = m1(sim.mesh);
+    println!("{:<11} {:>9}", "app", "off-chip");
+    let mut sum = 0.0;
+    let apps = suite();
+    for app in &apps {
+        let stats = run_app(app, &mapping, &sim, RunKind::Baseline);
+        let f = stats.offchip_fraction() * 100.0;
+        sum += f;
+        println!("{:<11} {:>8.1}%  {}", app.name(), f, bar(f, 1.5));
+    }
+    println!("{}", "-".repeat(40));
+    println!("{:<11} {:>8.1}%", "AVERAGE", sum / apps.len() as f64);
+}

@@ -1,0 +1,37 @@
+//! Table 2: percentage of arrays optimized and array references satisfied
+//! by the layout pass, per application.
+
+use hoploc_bench::{banner, m1, standard_config, suite};
+use hoploc_layout::Granularity;
+use hoploc_workloads::{layout_for, RunKind};
+
+fn main() {
+    banner(
+        "Table 2",
+        "arrays optimized / references satisfied per application",
+    );
+    let sim = standard_config(Granularity::CacheLine);
+    let mapping = m1(sim.mesh);
+    println!(
+        "{:<11} {:>16} {:>20}",
+        "app", "arrays optimized", "references satisfied"
+    );
+    let mut arr_sum = 0.0;
+    let mut ref_sum = 0.0;
+    let apps = suite();
+    for app in &apps {
+        let layout = layout_for(app, &mapping, &sim, RunKind::Optimized);
+        let a = layout.arrays_optimized() * 100.0;
+        let r = layout.refs_satisfied() * 100.0;
+        arr_sum += a;
+        ref_sum += r;
+        println!("{:<11} {:>15.0}% {:>19.0}%", app.name(), a, r);
+    }
+    println!("{}", "-".repeat(50));
+    println!(
+        "{:<11} {:>15.0}% {:>19.0}%",
+        "AVERAGE",
+        arr_sum / apps.len() as f64,
+        ref_sum / apps.len() as f64
+    );
+}

@@ -1,0 +1,114 @@
+//! # hoploc-bench
+//!
+//! Shared support for the figure/table reproduction harnesses in
+//! `benches/`. Every harness prints the same rows or series as the
+//! corresponding figure of *Optimizing Off-Chip Accesses in Multicores*
+//! (PLDI 2015); `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! Run all of them with `cargo bench`, or one with
+//! `cargo bench --bench fig16_cacheline`.
+
+#![forbid(unsafe_code)]
+
+use hoploc_layout::Granularity;
+use hoploc_noc::{L2ToMcMapping, McPlacement, Mesh};
+use hoploc_sim::{Improvement, RunStats, SimConfig};
+use hoploc_workloads::{all_apps, App, Scale};
+
+/// The standard capacity-scaled simulator configuration all harnesses use,
+/// at the given interleaving granularity.
+pub fn standard_config(granularity: Granularity) -> SimConfig {
+    SimConfig {
+        granularity,
+        ..SimConfig::scaled()
+    }
+}
+
+/// The paper's default L2-to-MC mapping (M1, Figure 8a) on a mesh.
+pub fn m1(mesh: Mesh) -> L2ToMcMapping {
+    L2ToMcMapping::nearest_cluster(mesh, &McPlacement::Corners)
+}
+
+/// The alternate mapping M2 (Figure 8b).
+pub fn m2(mesh: Mesh) -> L2ToMcMapping {
+    L2ToMcMapping::halves(mesh, &McPlacement::Corners)
+}
+
+/// The benchmark-scale application suite.
+pub fn suite() -> Vec<App> {
+    all_apps(Scale::Bench)
+}
+
+/// Prints a figure banner.
+pub fn banner(fig: &str, caption: &str) {
+    println!();
+    println!("================================================================");
+    println!("{fig}: {caption}");
+    println!("================================================================");
+}
+
+/// Prints the four-metric header used by Figures 4, 14, 16, and 22.
+pub fn four_metric_header() {
+    println!(
+        "{:<11} {:>12} {:>13} {:>11} {:>10}",
+        "app", "on-chip net", "off-chip net", "memory", "exec time"
+    );
+}
+
+/// Prints one four-metric reduction row.
+pub fn four_metric_row(name: &str, imp: &Improvement) {
+    println!(
+        "{:<11} {:>11.1}% {:>12.1}% {:>10.1}% {:>9.1}%",
+        name,
+        imp.onchip_net * 100.0,
+        imp.offchip_net * 100.0,
+        imp.memory * 100.0,
+        imp.exec_time * 100.0
+    );
+}
+
+/// Prints the four-metric average row.
+pub fn four_metric_avg(rows: &[Improvement]) {
+    let n = rows.len().max(1) as f64;
+    let avg = Improvement {
+        onchip_net: rows.iter().map(|r| r.onchip_net).sum::<f64>() / n,
+        offchip_net: rows.iter().map(|r| r.offchip_net).sum::<f64>() / n,
+        memory: rows.iter().map(|r| r.memory).sum::<f64>() / n,
+        exec_time: rows.iter().map(|r| r.exec_time).sum::<f64>() / n,
+    };
+    println!("{}", "-".repeat(60));
+    four_metric_row("AVERAGE", &avg);
+}
+
+/// Execution-time reduction of `opt` over `base` as a percentage.
+pub fn exec_saving(base: &RunStats, opt: &RunStats) -> f64 {
+    RunStats::reduction(opt.exec_cycles as f64, base.exec_cycles as f64) * 100.0
+}
+
+/// Renders a crude horizontal bar for terminal "figures".
+pub fn bar(value: f64, scale: f64) -> String {
+    let n = ((value * scale).round().max(0.0) as usize).min(60);
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_config_is_scaled() {
+        let c = standard_config(Granularity::CacheLine);
+        assert_eq!(c.l2.size_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn suite_has_thirteen_apps() {
+        assert_eq!(suite().len(), 13);
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(2.0, 100.0), "#".repeat(60));
+        assert_eq!(bar(-1.0, 10.0), "");
+    }
+}

@@ -1,0 +1,164 @@
+//! The centralized L2 tag directory used with private L2 caches.
+//!
+//! In the paper's private-L2 configuration (Figure 2a), each memory
+//! controller caches a slice of a centralized directory recording which
+//! private L2s hold each line. On an L2 miss, the request travels to the
+//! directory slice at the MC owning the line's physical address; the
+//! directory then either forwards to a sharer L2 (an *on-chip* access) or
+//! issues an *off-chip* memory request.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Sharer tracking for private L2 lines, keyed by line address.
+///
+/// Sharers are node indices (`< 128`), stored as a bitmask.
+///
+/// # Examples
+///
+/// ```
+/// use hoploc_cache::Directory;
+///
+/// let mut dir = Directory::new();
+/// dir.add_sharer(0x40, 3);
+/// assert_eq!(dir.sharers(0x40), vec![3]);
+/// dir.remove_sharer(0x40, 3);
+/// assert!(dir.sharers(0x40).is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    entries: HashMap<u64, u128>,
+    /// Lookups that found at least one sharer (on-chip fulfilment).
+    pub on_chip_hits: u64,
+    /// Lookups that found no sharer (off-chip fulfilment).
+    pub off_chip_misses: u64,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `node` now holds `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= 128`.
+    pub fn add_sharer(&mut self, line: u64, node: usize) {
+        assert!(node < 128, "directory supports up to 128 nodes");
+        *self.entries.entry(line).or_insert(0) |= 1u128 << node;
+    }
+
+    /// Records that `node` no longer holds `line` (eviction or
+    /// invalidation). Empty entries are pruned.
+    pub fn remove_sharer(&mut self, line: u64, node: usize) {
+        assert!(node < 128, "directory supports up to 128 nodes");
+        if let Some(mask) = self.entries.get_mut(&line) {
+            *mask &= !(1u128 << node);
+            if *mask == 0 {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    /// The nodes currently holding `line`, in ascending order.
+    pub fn sharers(&self, line: u64) -> Vec<usize> {
+        let Some(&mask) = self.entries.get(&line) else {
+            return Vec::new();
+        };
+        (0..128).filter(|&n| mask & (1u128 << n) != 0).collect()
+    }
+
+    /// Whether any node holds `line`.
+    pub fn has_sharer(&self, line: u64) -> bool {
+        self.entries.get(&line).copied().unwrap_or(0) != 0
+    }
+
+    /// Performs a lookup on behalf of `requester`: returns a sharer other
+    /// than the requester (the caller picks among them by distance), and
+    /// updates the on-chip / off-chip lookup counters.
+    pub fn lookup(&mut self, line: u64, requester: usize) -> Vec<usize> {
+        let sharers: Vec<usize> = self
+            .sharers(line)
+            .into_iter()
+            .filter(|&n| n != requester)
+            .collect();
+        if sharers.is_empty() {
+            self.off_chip_misses += 1;
+        } else {
+            self.on_chip_hits += 1;
+        }
+        sharers
+    }
+
+    /// Number of tracked lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory tracks no lines.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Directory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "directory: {} lines, {} on-chip, {} off-chip",
+            self.entries.len(),
+            self.on_chip_hits,
+            self.off_chip_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharers_round_trip() {
+        let mut d = Directory::new();
+        d.add_sharer(1, 5);
+        d.add_sharer(1, 63);
+        assert_eq!(d.sharers(1), vec![5, 63]);
+        d.remove_sharer(1, 5);
+        assert_eq!(d.sharers(1), vec![63]);
+    }
+
+    #[test]
+    fn empty_entries_pruned() {
+        let mut d = Directory::new();
+        d.add_sharer(7, 2);
+        d.remove_sharer(7, 2);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn lookup_excludes_requester() {
+        let mut d = Directory::new();
+        d.add_sharer(9, 4);
+        assert!(d.lookup(9, 4).is_empty());
+        assert_eq!(d.off_chip_misses, 1);
+        assert_eq!(d.lookup(9, 0), vec![4]);
+        assert_eq!(d.on_chip_hits, 1);
+    }
+
+    #[test]
+    fn remove_missing_is_noop() {
+        let mut d = Directory::new();
+        d.remove_sharer(1, 1);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn high_node_indices_supported() {
+        let mut d = Directory::new();
+        d.add_sharer(1, 127);
+        assert!(d.has_sharer(1));
+        assert_eq!(d.sharers(1), vec![127]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # hoploc-cache
+//!
+//! Cache substrate for the hoploc simulator: a tag-only set-associative
+//! LRU cache ([`SetAssocCache`]) used for both L1s and L2 slices, and the
+//! MC-side [`Directory`] that arbitrates between on-chip (cache-to-cache)
+//! and off-chip fulfilment of private-L2 misses, per Figure 2a of the
+//! paper. The shared-SNUCA home-bank arithmetic lives in the simulator,
+//! which composes these structures per node.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod directory;
+mod set_assoc;
+
+pub use directory::Directory;
+pub use set_assoc::{AccessResult, CacheConfig, CacheStats, SetAssocCache};

@@ -1,0 +1,79 @@
+//! Property-based tests of the cache and directory invariants.
+
+use hoploc_cache::{CacheConfig, Directory, SetAssocCache};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn accessed_line_becomes_resident(lines in proptest::collection::vec(0u64..4096, 1..200)) {
+        let mut c = SetAssocCache::new(CacheConfig::l1_default());
+        for &l in &lines {
+            c.access(l);
+            prop_assert!(c.contains(l), "line {l} not resident right after access");
+        }
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded(lines in proptest::collection::vec(0u64..100_000, 1..400)) {
+        let cfg = CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 };
+        let capacity = (cfg.size_bytes / cfg.line_bytes) as usize;
+        let mut c = SetAssocCache::new(cfg);
+        let mut resident: HashSet<u64> = HashSet::new();
+        for &l in &lines {
+            let r = c.access(l);
+            if let Some(e) = r.evicted {
+                resident.remove(&e);
+            }
+            resident.insert(l);
+            prop_assert!(resident.len() <= capacity);
+        }
+        // The model agrees with our shadow set.
+        for &l in &resident {
+            prop_assert!(c.contains(l));
+        }
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(lines in proptest::collection::vec(0u64..512, 1..300)) {
+        let mut c = SetAssocCache::new(CacheConfig::l2_default());
+        for &l in &lines {
+            c.access(l);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, lines.len() as u64);
+        prop_assert_eq!(s.hits + s.misses(), s.accesses);
+    }
+
+    #[test]
+    fn invalidate_removes(line in 0u64..10_000) {
+        let mut c = SetAssocCache::new(CacheConfig::l1_default());
+        c.access(line);
+        prop_assert!(c.invalidate(line));
+        prop_assert!(!c.contains(line));
+    }
+
+    #[test]
+    fn directory_tracks_sharers_exactly(
+        ops in proptest::collection::vec((0u64..64, 0usize..32, proptest::bool::ANY), 1..200)
+    ) {
+        let mut dir = Directory::new();
+        let mut shadow: std::collections::HashMap<u64, HashSet<usize>> = Default::default();
+        for &(line, node, add) in &ops {
+            if add {
+                dir.add_sharer(line, node);
+                shadow.entry(line).or_default().insert(node);
+            } else {
+                dir.remove_sharer(line, node);
+                if let Some(s) = shadow.get_mut(&line) {
+                    s.remove(&node);
+                }
+            }
+        }
+        for (line, sharers) in &shadow {
+            let mut expect: Vec<usize> = sharers.iter().copied().collect();
+            expect.sort_unstable();
+            prop_assert_eq!(dir.sharers(*line), expect);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Source-to-source rendering of the transformed code (Figure 9).
+//!
+//! The pass is conceptually a source-to-source translator (the paper
+//! implements it in Open64). This module renders the three stages of
+//! Figure 9 for documentation, debugging, and the examples:
+//!
+//! 1. the original parallel nest;
+//! 2. the nest after the Data-to-Core transformation (`r⃗′ = U·r⃗`);
+//! 3. the nest after layout customization (strip-mined/permuted subscripts
+//!    with the concrete `b`, `k`, `p` constants).
+
+use crate::customize::ArrayLayout;
+use crate::data_to_core::DataToCore;
+use hoploc_affine::{AccessFn, AffineAccess, LoopNest, Program};
+
+/// Renders one affine subscript expression (a row of `A·i⃗ + o⃗`).
+fn subscript(access: &AffineAccess, row: usize) -> String {
+    let mut s = String::new();
+    for c in 0..access.depth() {
+        let k = access.matrix()[(row, c)];
+        if k == 0 {
+            continue;
+        }
+        if !s.is_empty() {
+            s.push_str(if k < 0 { " - " } else { " + " });
+            if k.abs() != 1 {
+                s.push_str(&format!("{}*", k.abs()));
+            }
+        } else if k == -1 {
+            s.push('-');
+        } else if k != 1 {
+            s.push_str(&format!("{k}*"));
+        }
+        s.push_str(&format!("i{c}"));
+    }
+    let o = access.offset()[row];
+    if s.is_empty() {
+        s = o.to_string();
+    } else if o != 0 {
+        s.push_str(&format!(" {} {}", if o < 0 { "-" } else { "+" }, o.abs()));
+    }
+    s
+}
+
+/// Renders a reference `Name[e1][e2]…`.
+fn render_ref(name: &str, access: &AffineAccess) -> String {
+    let mut s = name.to_string();
+    for r in 0..access.rank() {
+        s.push_str(&format!("[{}]", subscript(access, r)));
+    }
+    s
+}
+
+/// Renders a loop nest with the given per-reference renderer.
+fn render_nest<F>(nest: &LoopNest, mut render: F) -> String
+where
+    F: FnMut(&hoploc_affine::ArrayRef) -> String,
+{
+    let mut out = String::new();
+    for (k, l) in nest.loops().iter().enumerate() {
+        out.push_str(&"  ".repeat(k));
+        out.push_str(&format!(
+            "{}for (i{k} = {}; i{k} < {}; i{k}++)\n",
+            if k == nest.parallel_dim() {
+                "#pragma omp parallel\n".to_owned() + &"  ".repeat(k)
+            } else {
+                String::new()
+            },
+            l.lower,
+            l.upper
+        ));
+    }
+    let indent = "  ".repeat(nest.depth());
+    for stmt in nest.body() {
+        for r in &stmt.refs {
+            out.push_str(&indent);
+            out.push_str(&render(r));
+            out.push_str(";\n");
+        }
+    }
+    out
+}
+
+/// Stage 1: the original parallel code (Figure 9a).
+pub fn render_original(program: &Program, nest: &LoopNest) -> String {
+    render_nest(nest, |r| {
+        let name = program.array(r.array).name();
+        match &r.access {
+            AccessFn::Affine(a) => render_ref(name, a),
+            AccessFn::Indexed { table, pos } => {
+                format!("{name}[T{}[{}]]", table.0, pos)
+            }
+        }
+    })
+}
+
+/// Stage 2: after determining the Data-to-Core mapping (Figure 9b) —
+/// subscripts are rewritten through each array's `U`.
+pub fn render_data_to_core(
+    program: &Program,
+    nest: &LoopNest,
+    d2c: &[Option<DataToCore>],
+) -> String {
+    render_nest(nest, |r| {
+        let name = program.array(r.array).name();
+        match &r.access {
+            AccessFn::Affine(a) => match &d2c[r.array.0] {
+                Some(d) => render_ref(&format!("{name}'"), &a.transformed(&d.u)),
+                None => render_ref(name, a),
+            },
+            AccessFn::Indexed { table, pos } => {
+                format!("{name}[T{}[{}]]", table.0, pos)
+            }
+        }
+    })
+}
+
+/// Stage 3: after layout customization (Figure 9c) — the strip-mined and
+/// permuted form, with the concrete block (`b`), controllers-per-cluster
+/// (`k`), and unit (`p`) constants of the chosen layout.
+pub fn render_customized(
+    program: &Program,
+    nest: &LoopNest,
+    d2c: &[Option<DataToCore>],
+    layouts: &[ArrayLayout],
+) -> String {
+    render_nest(nest, |r| {
+        let name = program.array(r.array).name();
+        match &r.access {
+            AccessFn::Affine(a) => {
+                let layout = &layouts[r.array.0];
+                if layout.is_original() {
+                    return render_ref(name, a);
+                }
+                let t = match &d2c[r.array.0] {
+                    Some(d) => a.transformed(&d.u),
+                    None => a.clone(),
+                };
+                let p = layout.unit_elems();
+                // Linearized offset of the non-partition dims.
+                let mut rest = String::new();
+                for row in 1..t.rank() {
+                    if !rest.is_empty() {
+                        rest.push_str(" ++ ");
+                    }
+                    rest.push_str(&subscript(&t, row));
+                }
+                if rest.is_empty() {
+                    rest = "0".to_string();
+                }
+                let v = subscript(&t, 0);
+                format!("{name}''[({rest})/{p}][R({v})][({rest})%{p}]",)
+            }
+            AccessFn::Indexed { table, pos } => {
+                format!("{name}[T{}[{}]]", table.0, pos)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_to_core::determine_data_to_core;
+    use crate::pass::{optimize_program, PassConfig};
+    use hoploc_affine::{
+        AffineAccess, ArrayDecl, ArrayRef, IMat, IVec, Loop, LoopNest, Program, Statement,
+    };
+    use hoploc_noc::{L2ToMcMapping, McPlacement, Mesh};
+
+    fn fig9() -> Program {
+        let mut p = Program::new("fig9");
+        let z = p.add_array(ArrayDecl::new("Z", vec![512, 512], 8));
+        let a = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        p.add_nest(LoopNest::new(
+            vec![Loop::constant(2, 511), Loop::constant(2, 511)],
+            0,
+            vec![Statement::new(
+                vec![
+                    ArrayRef::write(z, AffineAccess::new(a.clone(), IVec::zeros(2))),
+                    ArrayRef::read(z, AffineAccess::new(a, IVec::new(vec![-1, 0]))),
+                ],
+                1,
+            )],
+            1,
+        ));
+        p
+    }
+
+    #[test]
+    fn original_shows_z_j_i() {
+        let p = fig9();
+        let text = render_original(&p, &p.nests()[0]);
+        assert!(text.contains("Z[i1][i0]"), "got:\n{text}");
+        assert!(text.contains("#pragma omp parallel"));
+    }
+
+    #[test]
+    fn data_to_core_swaps_subscripts() {
+        let p = fig9();
+        let d2c = vec![Some(
+            determine_data_to_core(&p, hoploc_affine::ArrayId(0)).unwrap(),
+        )];
+        let text = render_data_to_core(&p, &p.nests()[0], &d2c);
+        // After U, the partition (first) subscript tracks i0.
+        assert!(
+            text.contains("Z'[i0][i1]") || text.contains("Z'[i0]"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn customized_shows_strip_mining() {
+        let p = fig9();
+        let mapping = L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &McPlacement::Corners);
+        let out = optimize_program(&p, &mapping, PassConfig::default());
+        let d2c = vec![Some(
+            determine_data_to_core(&p, hoploc_affine::ArrayId(0)).unwrap(),
+        )];
+        let text = render_customized(&p, &p.nests()[0], &d2c, out.layouts());
+        assert!(
+            text.contains("/32]"),
+            "expected /p strip-mining, got:\n{text}"
+        );
+        assert!(
+            text.contains("R("),
+            "expected cluster selector, got:\n{text}"
+        );
+    }
+}

@@ -1,0 +1,750 @@
+//! Layout customization (§5.3): turning a Data-to-Core mapping and an
+//! L2-to-MC mapping into a concrete virtual-memory placement.
+//!
+//! The paper expresses the customized layout as strip-mined/permuted array
+//! references such as `(…, rₙ/(k·p), R(r_v), rₙ%(k·p))ᵀ`. This module
+//! implements the equivalent *address function*: a bijection from original
+//! data vectors to element offsets within the array's (padded) allocation,
+//! arranged so that under the hardware's interleaving every element's
+//! off-chip request goes to a memory controller assigned to the cluster of
+//! the thread that owns the element.
+//!
+//! The arrangement is built from **interleave units** (cache lines or
+//! pages, `p` elements each) grouped into **super-groups** of
+//! `n_slots_total` consecutive units. Unit `slot` of every super-group maps
+//! to the same memory controller (`slot % N'`), because the array base is
+//! aligned to a whole super-group. Each owner (a cluster for private L2s, a
+//! thread's home bank for shared L2) is assigned fixed slots, and its data
+//! fills its slots across successive super-groups in order.
+
+use crate::binding::ThreadBinding;
+use crate::data_to_core::{transformed_bounds, DataToCore};
+use hoploc_affine::{ArrayDecl, BlockPartition, IMat, IVec};
+use hoploc_noc::{L2ToMcMapping, McId, NodeId};
+
+/// Interleaving granularity of physical addresses across MCs (§3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Granularity {
+    /// Cache-block interleaving: consecutive L2 lines rotate across MCs;
+    /// the selection bits survive virtual-to-physical translation, so the
+    /// compiler controls them directly.
+    CacheLine,
+    /// Page interleaving: the selection bits are chosen by the OS page
+    /// allocator; the layout records a *desired* MC per virtual unit and
+    /// relies on the modified allocation policy (§5.3, *Page Interleaving*).
+    Page,
+}
+
+/// Last-level cache organization (§1, Figure 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum L2Mode {
+    /// Per-core private L2s with an MC-side directory (Figure 2a).
+    Private,
+    /// Shared SNUCA L2: each line has a home bank issuing its off-chip
+    /// requests (Figure 2b).
+    Shared,
+}
+
+/// Priority between on-chip and off-chip localization in the shared-L2
+/// case, where §5.3 proves both cannot always be localized simultaneously.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SharedPolicy {
+    /// The paper's default: generate an on-chip-localized layout first,
+    /// then displace elements only as far as needed for the off-chip
+    /// request to reach the desired (or an adjacent) controller.
+    OnChipFirst,
+    /// Force every unit onto a slot whose MC is exactly a desired one,
+    /// accepting larger home-bank displacement (the paper's "one could
+    /// also first generate the layout localized for off-chip accesses").
+    OffChipFirst,
+}
+
+/// How the address function arranges one array.
+#[derive(Clone, Debug)]
+enum Plan {
+    /// Untransformed row-major layout (unoptimized arrays).
+    Original,
+    /// The localized layout described in the module docs.
+    Localized(Box<LocalizedPlan>),
+}
+
+#[derive(Clone, Debug)]
+struct LocalizedPlan {
+    /// Elements per interleave unit (`p` in the paper).
+    p_elems: i64,
+    /// Product of the transformed extents of all non-partition dimensions.
+    slab: i64,
+    /// Block partition of the (transformed) partition dimension over
+    /// threads.
+    part: BlockPartition,
+    /// Owner group of each thread (cluster index for private L2, thread
+    /// index for shared L2).
+    thread_group: Vec<u32>,
+    /// First partition-dimension coordinate owned by each group.
+    group_v_lo: Vec<i64>,
+    /// The interleave-unit slots of each group within a super-group.
+    group_slots: Vec<Vec<u32>>,
+    /// Units per super-group.
+    n_slots_total: u32,
+    /// Number of MCs (for desired-MC queries).
+    n_mcs: u32,
+}
+
+/// The customized layout of one array: a bijection from original data
+/// vectors to element offsets, plus the metadata the OS and simulator need.
+#[derive(Clone, Debug)]
+pub struct ArrayLayout {
+    u: IMat,
+    mins: Vec<i64>,
+    extents: Vec<i64>,
+    dims: Vec<i64>,
+    elem_size: u32,
+    unit_bytes: u32,
+    plan: Plan,
+    span_elements: i64,
+}
+
+impl ArrayLayout {
+    /// The untransformed row-major layout of an array (the baseline, and
+    /// the fallback for arrays the pass declines to optimize).
+    pub fn original(decl: &ArrayDecl) -> Self {
+        let n = decl.rank();
+        Self {
+            u: IMat::identity(n),
+            mins: vec![0; n],
+            extents: decl.dims().to_vec(),
+            dims: decl.dims().to_vec(),
+            elem_size: decl.elem_size(),
+            unit_bytes: 0,
+            plan: Plan::Original,
+            span_elements: decl.num_elements(),
+        }
+    }
+
+    /// Builds the customized layout for the **private-L2** case (§5.3,
+    /// lines 38–42 of Algorithm 1).
+    ///
+    /// `unit_bytes` is the interleave unit: the L2 line size for cache-line
+    /// interleaving or the page size for page interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_bytes` is not a positive multiple of the element
+    /// size.
+    pub fn localized_private(
+        decl: &ArrayDecl,
+        d2c: &DataToCore,
+        mapping: &L2ToMcMapping,
+        binding: &ThreadBinding,
+        unit_bytes: u32,
+    ) -> Self {
+        let (u, mins, extents) = Self::frame(decl, d2c);
+        let n_threads = binding.len();
+        let n_mcs = mapping.num_mcs() as u32;
+
+        // Owner group of a thread = its cluster (in cluster-major binding,
+        // thread blocks are cluster-contiguous).
+        let thread_group: Vec<u32> = (0..n_threads)
+            .map(|t| mapping.cluster_of(binding.node_of(t)).0 as u32)
+            .collect();
+
+        // Slot assignment: each cluster occupies the slots of its assigned
+        // MCs. When several clusters share an MC, they stack into extended
+        // super-groups (slot + r·N′ still maps to the same controller).
+        let mut per_mc_round: Vec<u32> = vec![0; n_mcs as usize];
+        let mut group_slots: Vec<Vec<u32>> = Vec::with_capacity(mapping.num_clusters());
+        for c in 0..mapping.num_clusters() {
+            let mut slots: Vec<u32> = mapping
+                .cluster_mcs(hoploc_noc::ClusterId(c as u16))
+                .iter()
+                .map(|mc| {
+                    let r = per_mc_round[mc.0 as usize];
+                    per_mc_round[mc.0 as usize] += 1;
+                    mc.0 as u32 + r * n_mcs
+                })
+                .collect();
+            slots.sort_unstable();
+            group_slots.push(slots);
+        }
+        let rounds = per_mc_round.iter().copied().max().unwrap_or(1).max(1);
+        let n_slots_total = n_mcs * rounds;
+
+        Self::assemble(
+            decl,
+            u,
+            mins,
+            extents,
+            unit_bytes,
+            thread_group,
+            group_slots,
+            n_slots_total,
+            n_mcs,
+            n_threads,
+        )
+    }
+
+    /// Builds the customized layout for the **shared-L2** case (§5.3,
+    /// lines 43–56): one slot per thread, chosen so the home bank stays
+    /// near the owning core while the unit's MC serves the core's cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_bytes` is not a positive multiple of the element
+    /// size.
+    pub fn localized_shared(
+        decl: &ArrayDecl,
+        d2c: &DataToCore,
+        mapping: &L2ToMcMapping,
+        binding: &ThreadBinding,
+        unit_bytes: u32,
+        policy: SharedPolicy,
+    ) -> Self {
+        let (u, mins, extents) = Self::frame(decl, d2c);
+        let n_threads = binding.len();
+        let n_mcs = mapping.num_mcs() as u32;
+        let slots = assign_shared_slots(mapping, binding, policy);
+        let n_slots_total = slots.iter().copied().max().unwrap_or(0) / n_threads as u32
+            * n_threads as u32
+            + n_threads as u32;
+        let thread_group: Vec<u32> = (0..n_threads as u32).collect();
+        let group_slots: Vec<Vec<u32>> = slots.into_iter().map(|s| vec![s]).collect();
+        Self::assemble(
+            decl,
+            u,
+            mins,
+            extents,
+            unit_bytes,
+            thread_group,
+            group_slots,
+            n_slots_total,
+            n_mcs,
+            n_threads,
+        )
+    }
+
+    fn frame(decl: &ArrayDecl, d2c: &DataToCore) -> (IMat, Vec<i64>, Vec<i64>) {
+        let (mins, extents) = transformed_bounds(&d2c.u, decl.dims());
+        (d2c.u.clone(), mins, extents)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        decl: &ArrayDecl,
+        u: IMat,
+        mins: Vec<i64>,
+        extents: Vec<i64>,
+        unit_bytes: u32,
+        thread_group: Vec<u32>,
+        group_slots: Vec<Vec<u32>>,
+        n_slots_total: u32,
+        n_mcs: u32,
+        n_threads: usize,
+    ) -> Self {
+        assert!(unit_bytes > 0, "interleave unit must be positive");
+        assert_eq!(
+            unit_bytes % decl.elem_size(),
+            0,
+            "interleave unit must be a multiple of the element size"
+        );
+        let p_elems = (unit_bytes / decl.elem_size()) as i64;
+        let slab: i64 = extents[1..].iter().product::<i64>().max(1);
+        let part = BlockPartition::new(extents[0], n_threads);
+
+        // First v-coordinate of each group: groups own contiguous thread
+        // blocks (cluster-major binding), hence contiguous v ranges.
+        let n_groups = group_slots.len();
+        let mut group_v_lo = vec![i64::MAX; n_groups];
+        let mut group_v_hi = vec![0i64; n_groups];
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..n_threads {
+            let g = thread_group[t] as usize;
+            let v_lo = ((t as i64) * part.block_size()).min(extents[0]);
+            let v_hi = ((t as i64 + 1) * part.block_size()).min(extents[0]);
+            group_v_lo[g] = group_v_lo[g].min(v_lo);
+            group_v_hi[g] = group_v_hi[g].max(v_hi);
+        }
+        for v in group_v_lo.iter_mut() {
+            if *v == i64::MAX {
+                *v = 0;
+            }
+        }
+
+        // Span: every group needs ceil(its element span / (p·k))
+        // super-groups; the array occupies the max over groups, each
+        // super-group being n_slots_total units. Using the v-range rather
+        // than the element count keeps the span valid even for bindings
+        // where a group's threads are not contiguous.
+        let mut max_supergroups = 0i64;
+        for g in 0..n_groups {
+            let v_extent = (group_v_hi[g] - group_v_lo[g]).max(0);
+            let elems = v_extent * slab;
+            let k = group_slots[g].len() as i64;
+            let units = (elems + p_elems - 1) / p_elems;
+            let sg = (units + k - 1) / k;
+            max_supergroups = max_supergroups.max(sg);
+        }
+        let span_elements = max_supergroups.max(1) * n_slots_total as i64 * p_elems;
+
+        Self {
+            u,
+            mins,
+            extents,
+            dims: decl.dims().to_vec(),
+            elem_size: decl.elem_size(),
+            unit_bytes,
+            plan: Plan::Localized(Box::new(LocalizedPlan {
+                p_elems,
+                slab,
+                part,
+                thread_group,
+                group_v_lo,
+                group_slots,
+                n_slots_total,
+                n_mcs,
+            })),
+            span_elements,
+        }
+    }
+
+    /// The layout transformation matrix `U`.
+    pub fn u(&self) -> &IMat {
+        &self.u
+    }
+
+    /// Whether this is the untransformed baseline layout.
+    pub fn is_original(&self) -> bool {
+        matches!(self.plan, Plan::Original)
+    }
+
+    /// Total element span of the allocation, including padding.
+    pub fn span_elements(&self) -> i64 {
+        self.span_elements
+    }
+
+    /// Total byte span of the allocation, including padding.
+    pub fn span_bytes(&self) -> i64 {
+        self.span_elements * self.elem_size as i64
+    }
+
+    /// Required base alignment in bytes: a whole super-group, so that slot
+    /// arithmetic survives linearization (the paper's padding, §5.3).
+    pub fn base_alignment_bytes(&self) -> i64 {
+        match &self.plan {
+            Plan::Original => self.elem_size as i64,
+            Plan::Localized(p) => p.n_slots_total as i64 * self.unit_bytes as i64,
+        }
+    }
+
+    /// Maps an original data vector to its element offset within the
+    /// array's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subscript count differs from the array rank.
+    pub fn place(&self, dvec: &[i64]) -> i64 {
+        assert_eq!(
+            dvec.len(),
+            self.dims.len(),
+            "subscript count must match rank"
+        );
+        match &self.plan {
+            Plan::Original => {
+                let mut off = 0i64;
+                for (k, &s) in dvec.iter().enumerate() {
+                    let s = s.clamp(0, self.dims[k] - 1);
+                    off = off * self.dims[k] + s;
+                }
+                off
+            }
+            Plan::Localized(p) => {
+                let t = self.transform_clamped(dvec);
+                let thread = p.part.block_of(t[0]) as usize;
+                let g = p.thread_group[thread] as usize;
+                let s = (t[0] - p.group_v_lo[g]) * p.slab + rest_offset(&t, &self.extents);
+                let unit = s / p.p_elems;
+                let within = s % p.p_elems;
+                let slots = &p.group_slots[g];
+                let k = slots.len() as i64;
+                let supergroup = unit / k;
+                let slot = slots[(unit % k) as usize] as i64;
+                (supergroup * p.n_slots_total as i64 + slot) * p.p_elems + within
+            }
+        }
+    }
+
+    /// The thread that owns a data element (the thread whose iterations
+    /// access it under the block distribution). Meaningful only for
+    /// localized layouts; returns `None` for the original layout.
+    pub fn owner_thread(&self, dvec: &[i64]) -> Option<usize> {
+        match &self.plan {
+            Plan::Original => None,
+            Plan::Localized(p) => {
+                let t = self.transform_clamped(dvec);
+                Some(p.part.block_of(t[0]) as usize)
+            }
+        }
+    }
+
+    /// The desired memory controller of an interleave unit (unit index =
+    /// element offset / `p`). Used by the OS-assisted page allocation
+    /// policy under page interleaving. Returns `None` for the original
+    /// layout (no preference).
+    pub fn desired_unit_mc(&self, unit: i64) -> Option<McId> {
+        match &self.plan {
+            Plan::Original => None,
+            Plan::Localized(p) => {
+                let slot = (unit % p.n_slots_total as i64) as u32;
+                Some(McId((slot % p.n_mcs) as u16))
+            }
+        }
+    }
+
+    /// Elements per interleave unit (0 for the original layout).
+    pub fn unit_elems(&self) -> i64 {
+        match &self.plan {
+            Plan::Original => 0,
+            Plan::Localized(p) => p.p_elems,
+        }
+    }
+
+    /// Transformed extents (after `U` and shifting).
+    pub fn extents(&self) -> &[i64] {
+        &self.extents
+    }
+
+    fn transform_clamped(&self, dvec: &[i64]) -> Vec<i64> {
+        let clamped: Vec<i64> = dvec
+            .iter()
+            .zip(&self.dims)
+            .map(|(&s, &d)| s.clamp(0, d - 1))
+            .collect();
+        let v = self.u.mul_vec(&IVec::new(clamped));
+        v.iter()
+            .zip(&self.mins)
+            .zip(&self.extents)
+            .map(|((x, m), e)| (x - m).clamp(0, e - 1))
+            .collect()
+    }
+}
+
+/// Row-major offset of the non-partition dimensions of a transformed
+/// vector.
+fn rest_offset(t: &[i64], extents: &[i64]) -> i64 {
+    let mut off = 0i64;
+    for k in 1..t.len() {
+        off = off * extents[k] + t[k];
+    }
+    off
+}
+
+/// Assigns each thread a home-bank slot for the shared-L2 layout.
+///
+/// Every slot `s` places the thread's units on home bank `s % N` and
+/// controller `s % N'`. [`SharedPolicy::OnChipFirst`] keeps `s` as close to
+/// the thread's own node id as possible while requiring the controller to
+/// be desired *or adjacent to* a desired one; [`SharedPolicy::OffChipFirst`]
+/// requires exactly a desired controller.
+fn assign_shared_slots(
+    mapping: &L2ToMcMapping,
+    binding: &ThreadBinding,
+    policy: SharedPolicy,
+) -> Vec<u32> {
+    let n = binding.len();
+    let n_mcs = mapping.num_mcs();
+    let mesh = mapping.mesh();
+    // Adjacency: controllers within half the mesh perimeter-step of a
+    // desired controller (nearest neighbours on the chip boundary).
+    let adj_threshold = (mesh.width().max(mesh.height())) as u32;
+
+    let mut taken = vec![false; 2 * n]; // allow one extension round
+    let mut out = vec![0u32; n];
+    #[allow(clippy::needless_range_loop)]
+    for t in 0..n {
+        let node = binding.node_of(t);
+        let desired = mapping.mcs_of_node(node);
+        let is_ok = |mc: McId| -> (bool, bool) {
+            let exact = desired.contains(&mc);
+            let adjacent = desired.iter().any(|&d| {
+                mesh.hop_distance(mapping.mc_node(d), mapping.mc_node(mc)) <= adj_threshold
+            });
+            (exact, adjacent)
+        };
+        // Rank all free slots by (constraint satisfaction, |s - node|, s).
+        let mut best: Option<(u32, u64, usize)> = None;
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..2 * n {
+            if taken[s] {
+                continue;
+            }
+            let mc = McId((s % n_mcs) as u16);
+            let (exact, adjacent) = is_ok(mc);
+            let class = match policy {
+                SharedPolicy::OffChipFirst => {
+                    if exact {
+                        0
+                    } else if adjacent {
+                        2
+                    } else {
+                        3
+                    }
+                }
+                SharedPolicy::OnChipFirst => {
+                    if exact {
+                        0
+                    } else if adjacent {
+                        1
+                    } else {
+                        3
+                    }
+                }
+            };
+            let home = (s % n) as i64;
+            let dist =
+                mesh.hop_distance(node, NodeId(home as u16)) as u64 + if s >= n { 1 } else { 0 }; // discourage the extension round
+            let key = (class, dist, s);
+            if best.map(|b| key < (b.0, b.1, b.2)).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        let (_, _, s) = best.expect("a free slot always exists");
+        taken[s] = true;
+        out[t] = s as u32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_to_core::determine_data_to_core;
+    use hoploc_affine::{AffineAccess, ArrayDecl, ArrayRef, Loop, LoopNest, Program, Statement};
+    use hoploc_noc::{McPlacement, Mesh};
+    use std::collections::HashSet;
+
+    fn setup() -> (L2ToMcMapping, ThreadBinding) {
+        let mapping = L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &McPlacement::Corners);
+        let binding = ThreadBinding::cluster_major(&mapping);
+        (mapping, binding)
+    }
+
+    fn simple_program(dims: Vec<i64>) -> (Program, hoploc_affine::ArrayId) {
+        let mut p = Program::new("t");
+        let n = dims.len();
+        let x = p.add_array(ArrayDecl::new("X", dims.clone(), 8));
+        p.add_nest(LoopNest::new(
+            dims.iter().map(|&d| Loop::constant(0, d)).collect(),
+            0,
+            vec![Statement::new(
+                vec![ArrayRef::read(x, AffineAccess::identity(n))],
+                1,
+            )],
+            1,
+        ));
+        (p, x)
+    }
+
+    fn private_layout(dims: Vec<i64>) -> (ArrayLayout, L2ToMcMapping, ThreadBinding) {
+        let (p, x) = simple_program(dims);
+        let d2c = determine_data_to_core(&p, x).unwrap();
+        let (mapping, binding) = setup();
+        let l = ArrayLayout::localized_private(p.array(x), &d2c, &mapping, &binding, 256);
+        (l, mapping, binding)
+    }
+
+    #[test]
+    fn private_layout_is_injective() {
+        let (l, _, _) = private_layout(vec![256, 64]);
+        let mut seen = HashSet::new();
+        for a0 in 0..256 {
+            for a1 in 0..64 {
+                let off = l.place(&[a0, a1]);
+                assert!(off >= 0 && off < l.span_elements());
+                assert!(seen.insert(off), "collision at ({a0},{a1})");
+            }
+        }
+    }
+
+    #[test]
+    fn private_layout_sends_units_to_owner_cluster_mc() {
+        let (l, mapping, binding) = private_layout(vec![256, 64]);
+        let p = 256 / 8; // elements per 256B unit
+        for a0 in (0..256).step_by(7) {
+            for a1 in (0..64).step_by(5) {
+                let off = l.place(&[a0, a1]);
+                let unit = off / p;
+                let mc = McId((unit % mapping.num_mcs() as i64) as u16);
+                let owner = l.owner_thread(&[a0, a1]).unwrap();
+                let cluster = mapping.cluster_of(binding.node_of(owner));
+                assert!(
+                    mapping.cluster_mcs(cluster).contains(&mc),
+                    "element ({a0},{a1}) owner thread {owner} got {mc} not in cluster set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn private_layout_units_are_owner_pure() {
+        // No interleave unit mixes elements of different owner clusters.
+        let (l, mapping, binding) = private_layout(vec![256, 64]);
+        let p = 256 / 8;
+        let mut unit_owner: std::collections::HashMap<i64, u16> = Default::default();
+        for a0 in 0..256 {
+            for a1 in 0..64 {
+                let unit = l.place(&[a0, a1]) / p;
+                let owner = l.owner_thread(&[a0, a1]).unwrap();
+                let cluster = mapping.cluster_of(binding.node_of(owner)).0;
+                if let Some(&prev) = unit_owner.get(&unit) {
+                    assert_eq!(prev, cluster, "unit {unit} mixes clusters");
+                } else {
+                    unit_owner.insert(unit, cluster);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m2_units_round_robin_over_two_mcs() {
+        let (p, x) = simple_program(vec![256, 64]);
+        let d2c = determine_data_to_core(&p, x).unwrap();
+        let mapping = L2ToMcMapping::halves(Mesh::new(8, 8), &McPlacement::Corners);
+        let binding = ThreadBinding::cluster_major(&mapping);
+        let l = ArrayLayout::localized_private(p.array(x), &d2c, &mapping, &binding, 256);
+        let pe = 256 / 8;
+        // Collect the set of MCs used by elements of thread 0 (left half).
+        let mut mcs = HashSet::new();
+        for a0 in 0..4 {
+            for a1 in 0..64 {
+                let unit = l.place(&[a0, a1]) / pe;
+                mcs.insert((unit % 4) as u16);
+            }
+        }
+        let cluster = mapping.cluster_of(binding.node_of(0));
+        let expect: HashSet<u16> = mapping.cluster_mcs(cluster).iter().map(|m| m.0).collect();
+        assert_eq!(mcs, expect, "left-half data must rotate over both left MCs");
+        assert_eq!(mcs.len(), 2);
+    }
+
+    #[test]
+    fn shared_layout_is_injective_and_bounded() {
+        let (p, x) = simple_program(vec![256, 64]);
+        let d2c = determine_data_to_core(&p, x).unwrap();
+        let (mapping, binding) = setup();
+        let l = ArrayLayout::localized_shared(
+            p.array(x),
+            &d2c,
+            &mapping,
+            &binding,
+            256,
+            SharedPolicy::OnChipFirst,
+        );
+        let mut seen = HashSet::new();
+        for a0 in 0..256 {
+            for a1 in 0..64 {
+                let off = l.place(&[a0, a1]);
+                assert!(
+                    off >= 0 && off < l.span_elements(),
+                    "offset {off} out of span"
+                );
+                assert!(seen.insert(off), "collision at ({a0},{a1})");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_offchip_first_hits_exact_mcs() {
+        let (p, x) = simple_program(vec![256, 64]);
+        let d2c = determine_data_to_core(&p, x).unwrap();
+        let (mapping, binding) = setup();
+        let l = ArrayLayout::localized_shared(
+            p.array(x),
+            &d2c,
+            &mapping,
+            &binding,
+            256,
+            SharedPolicy::OffChipFirst,
+        );
+        let pe = 256 / 8;
+        for a0 in (0..256).step_by(11) {
+            let off = l.place(&[a0, 0]);
+            let unit = off / pe;
+            let mc = McId((unit % 4) as u16);
+            let owner = l.owner_thread(&[a0, 0]).unwrap();
+            let cluster = mapping.cluster_of(binding.node_of(owner));
+            assert!(mapping.cluster_mcs(cluster).contains(&mc));
+        }
+    }
+
+    #[test]
+    fn original_layout_is_row_major() {
+        let decl = ArrayDecl::new("X", vec![4, 8], 8);
+        let l = ArrayLayout::original(&decl);
+        assert_eq!(l.place(&[0, 0]), 0);
+        assert_eq!(l.place(&[1, 2]), 10);
+        assert!(l.is_original());
+        assert_eq!(l.span_elements(), 32);
+        assert_eq!(l.desired_unit_mc(0), None);
+    }
+
+    #[test]
+    fn desired_unit_mc_matches_place() {
+        let (l, mapping, _) = private_layout(vec![256, 64]);
+        let p = 256 / 8;
+        for a0 in (0..256).step_by(13) {
+            let off = l.place(&[a0, 3]);
+            let unit = off / p;
+            let by_query = l.desired_unit_mc(unit).unwrap();
+            let by_arith = McId((unit % mapping.num_mcs() as i64) as u16);
+            assert_eq!(by_query, by_arith);
+        }
+    }
+
+    #[test]
+    fn base_alignment_covers_supergroup() {
+        let (l, mapping, _) = private_layout(vec![256, 64]);
+        assert_eq!(l.base_alignment_bytes(), mapping.num_mcs() as i64 * 256);
+    }
+
+    #[test]
+    fn span_padding_is_bounded() {
+        // Padding should stay a small multiple of the raw size.
+        let (l, _, _) = private_layout(vec![256, 64]);
+        let raw = 256 * 64;
+        assert!(l.span_elements() >= raw);
+        assert!(l.span_elements() <= raw * 2, "padding overhead too large");
+    }
+
+    #[test]
+    fn shared_slots_are_distinct() {
+        let (mapping, binding) = setup();
+        for policy in [SharedPolicy::OnChipFirst, SharedPolicy::OffChipFirst] {
+            let slots = assign_shared_slots(&mapping, &binding, policy);
+            let set: HashSet<u32> = slots.iter().copied().collect();
+            assert_eq!(
+                set.len(),
+                slots.len(),
+                "slots must be distinct ({policy:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_onchip_first_keeps_home_near() {
+        let (mapping, binding) = setup();
+        let mesh = *mapping.mesh();
+        let slots = assign_shared_slots(&mapping, &binding, SharedPolicy::OnChipFirst);
+        let n = binding.len();
+        let avg_disp: f64 = (0..n)
+            .map(|t| {
+                let home = NodeId((slots[t] as usize % n) as u16);
+                mesh.hop_distance(binding.node_of(t), home) as f64
+            })
+            .sum::<f64>()
+            / n as f64;
+        // Average displacement must be well under the mesh diameter.
+        assert!(
+            avg_disp < 4.0,
+            "average home displacement {avg_disp} too large"
+        );
+    }
+}

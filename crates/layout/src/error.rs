@@ -1,0 +1,63 @@
+//! Error types of the layout pass.
+
+use hoploc_affine::ArrayId;
+use std::fmt;
+
+/// Why the layout pass declined to optimize an array.
+///
+/// Per §5.4 and the footnote to Table 2, arrays can be left untouched
+/// ("the reason why we could not transform some arrays is because they use
+/// pointer accesses or index array accesses which could not be
+/// approximated"). Skipping is never a correctness problem — the original
+/// layout remains valid — only a missed optimization.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LayoutError {
+    /// The array has no references in the program.
+    NoReferences(ArrayId),
+    /// All references are indexed and the affine approximation exceeded the
+    /// inaccuracy budget (§5.4: "more than 30%, in which case our
+    /// implementation simply does not optimize those references").
+    ApproximationTooInaccurate {
+        /// The array concerned.
+        array: ArrayId,
+        /// Measured inaccuracy in `[0, 1]`.
+        inaccuracy: f64,
+    },
+    /// The homogeneous system `Bᵀ gᵥᵀ = 0` has only the trivial solution
+    /// for every weighted submatrix, so no partitioning hyperplane exists.
+    NoPartitioningHyperplane(ArrayId),
+    /// The L2-to-MC mapping's MC sets overlap or do not cover all MCs, so
+    /// no interleaving-compatible slot assignment exists.
+    UnroutableMapping,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::NoReferences(a) => {
+                write!(f, "array #{} has no references to optimize", a.0)
+            }
+            LayoutError::ApproximationTooInaccurate { array, inaccuracy } => write!(
+                f,
+                "indexed references to array #{} approximate too poorly ({:.0}% inaccuracy)",
+                array.0,
+                inaccuracy * 100.0
+            ),
+            LayoutError::NoPartitioningHyperplane(a) => {
+                write!(
+                    f,
+                    "no data partitioning hyperplane satisfies array #{}",
+                    a.0
+                )
+            }
+            LayoutError::UnroutableMapping => {
+                write!(
+                    f,
+                    "L2-to-MC mapping does not partition the memory controllers"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}

@@ -1,0 +1,406 @@
+//! The layout-transformation driver — Algorithm 1 of the paper.
+//!
+//! For every array of a program: determine the Data-to-Core mapping
+//! (weighted over all references, §5.2), then customize the layout for the
+//! configured cache organization and interleaving granularity (§5.3),
+//! approximating indexed references from their profiled tables (§5.4) and
+//! declining to optimize arrays that approximate too poorly.
+
+use crate::approx::approximate_table;
+use crate::binding::ThreadBinding;
+use crate::customize::{ArrayLayout, Granularity, L2Mode, SharedPolicy};
+use crate::data_to_core::{determine_data_to_core, DataToCore, DATA_PARTITION_DIM};
+use crate::error::LayoutError;
+use hoploc_affine::{AccessFn, ArrayId, IMat, IVec, Program};
+use hoploc_noc::L2ToMcMapping;
+
+/// Configuration of one pass invocation (the INPUT line of Algorithm 1).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PassConfig {
+    /// Interleaving granularity of physical addresses across MCs.
+    pub granularity: Granularity,
+    /// Last-level cache organization.
+    pub l2_mode: L2Mode,
+    /// Shared-L2 localization priority (ignored for private L2s).
+    pub shared_policy: SharedPolicy,
+    /// L2 cache line size in bytes (Table 1: 256).
+    pub line_bytes: u32,
+    /// OS page size in bytes (Table 1: 4096).
+    pub page_bytes: u32,
+    /// Maximum tolerated indexed-approximation inaccuracy (§5.4: 30%).
+    pub approx_threshold: f64,
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        Self {
+            granularity: Granularity::CacheLine,
+            l2_mode: L2Mode::Private,
+            shared_policy: SharedPolicy::OnChipFirst,
+            line_bytes: 256,
+            page_bytes: 4096,
+            approx_threshold: 0.30,
+        }
+    }
+}
+
+impl PassConfig {
+    /// The interleave unit implied by the granularity.
+    pub fn unit_bytes(&self) -> u32 {
+        match self.granularity {
+            Granularity::CacheLine => self.line_bytes,
+            Granularity::Page => self.page_bytes,
+        }
+    }
+}
+
+/// Per-array outcome, feeding Table 2 of the paper.
+#[derive(Clone, Debug)]
+pub struct ArrayReport {
+    /// The array.
+    pub array: ArrayId,
+    /// Its declared name.
+    pub name: String,
+    /// Whether a customized layout was produced.
+    pub optimized: bool,
+    /// Why not, when `optimized` is false.
+    pub reason: Option<LayoutError>,
+    /// References (affine satisfied + well-approximated indexed) the chosen
+    /// layout serves.
+    pub satisfied_refs: usize,
+    /// All references to the array.
+    pub total_refs: usize,
+}
+
+/// The result of optimizing a whole program.
+#[derive(Clone, Debug)]
+pub struct ProgramLayout {
+    layouts: Vec<ArrayLayout>,
+    reports: Vec<ArrayReport>,
+    binding: ThreadBinding,
+    config: PassConfig,
+}
+
+impl ProgramLayout {
+    /// The layout chosen for an array (customized or original).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn layout(&self, array: ArrayId) -> &ArrayLayout {
+        &self.layouts[array.0]
+    }
+
+    /// All layouts, indexed by [`ArrayId`].
+    pub fn layouts(&self) -> &[ArrayLayout] {
+        &self.layouts
+    }
+
+    /// Per-array reports (Table 2 feed).
+    pub fn reports(&self) -> &[ArrayReport] {
+        &self.reports
+    }
+
+    /// The thread binding the layouts assume (trace generation must use the
+    /// same one).
+    pub fn binding(&self) -> &ThreadBinding {
+        &self.binding
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &PassConfig {
+        &self.config
+    }
+
+    /// Fraction of arrays optimized (Table 2, second column).
+    pub fn arrays_optimized(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().filter(|r| r.optimized).count() as f64 / self.reports.len() as f64
+    }
+
+    /// Fraction of references satisfied (Table 2, third column).
+    pub fn refs_satisfied(&self) -> f64 {
+        let total: usize = self.reports.iter().map(|r| r.total_refs).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let sat: usize = self.reports.iter().map(|r| r.satisfied_refs).sum();
+        sat as f64 / total as f64
+    }
+}
+
+/// The baseline "layout": every array keeps its original row-major
+/// placement, threads bound identically. Used for the unoptimized runs.
+pub fn baseline_layout(program: &Program, num_threads: usize) -> ProgramLayout {
+    ProgramLayout {
+        layouts: program.arrays().iter().map(ArrayLayout::original).collect(),
+        reports: program
+            .arrays()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| ArrayReport {
+                array: ArrayId(i),
+                name: a.name().to_string(),
+                optimized: false,
+                reason: None,
+                satisfied_refs: 0,
+                total_refs: program.refs_to(ArrayId(i)).count(),
+            })
+            .collect(),
+        binding: ThreadBinding::identity(num_threads),
+        config: PassConfig::default(),
+    }
+}
+
+/// Runs Algorithm 1 over a program.
+///
+/// Returns a customized layout per array where possible and the original
+/// layout (with the reason) otherwise. The pass itself never fails: an
+/// unoptimizable array is a missed optimization, not an error.
+pub fn optimize_program(
+    program: &Program,
+    mapping: &L2ToMcMapping,
+    config: PassConfig,
+) -> ProgramLayout {
+    let binding = ThreadBinding::cluster_major(mapping);
+    let unit = config.unit_bytes();
+    let mut layouts = Vec::with_capacity(program.arrays().len());
+    let mut reports = Vec::with_capacity(program.arrays().len());
+
+    for (i, decl) in program.arrays().iter().enumerate() {
+        let array = ArrayId(i);
+        let total_refs = program.refs_to(array).count();
+        let (indexed_ok, indexed_bad, worst_inaccuracy) =
+            classify_indexed(program, array, config.approx_threshold);
+        let affine_refs = program
+            .refs_to(array)
+            .filter(|(_, r)| r.access.as_affine().is_some())
+            .count();
+
+        // Determine the Data-to-Core mapping from affine references; a
+        // purely indexed (necessarily 1-D in our IR) array partitions its
+        // only dimension directly when it approximates well.
+        let d2c = if affine_refs > 0 {
+            determine_data_to_core(program, array)
+        } else if indexed_ok > 0 {
+            Ok(identity_d2c(array, decl.rank(), indexed_ok + indexed_bad))
+        } else {
+            Err(LayoutError::ApproximationTooInaccurate {
+                array,
+                inaccuracy: worst_inaccuracy,
+            })
+        };
+
+        match d2c {
+            Ok(d2c) if total_refs > 0 => {
+                let layout = match config.l2_mode {
+                    L2Mode::Private => {
+                        ArrayLayout::localized_private(decl, &d2c, mapping, &binding, unit)
+                    }
+                    L2Mode::Shared => ArrayLayout::localized_shared(
+                        decl,
+                        &d2c,
+                        mapping,
+                        &binding,
+                        unit,
+                        config.shared_policy,
+                    ),
+                };
+                layouts.push(layout);
+                reports.push(ArrayReport {
+                    array,
+                    name: decl.name().to_string(),
+                    optimized: true,
+                    reason: None,
+                    satisfied_refs: d2c.satisfied_refs + indexed_ok,
+                    total_refs,
+                });
+            }
+            Ok(_) | Err(_) => {
+                let reason = match d2c {
+                    Err(e) => Some(e),
+                    Ok(_) => Some(LayoutError::NoReferences(array)),
+                };
+                layouts.push(ArrayLayout::original(decl));
+                reports.push(ArrayReport {
+                    array,
+                    name: decl.name().to_string(),
+                    optimized: false,
+                    reason,
+                    satisfied_refs: 0,
+                    total_refs,
+                });
+            }
+        }
+    }
+
+    ProgramLayout {
+        layouts,
+        reports,
+        binding,
+        config,
+    }
+}
+
+/// Counts indexed references to `array` whose tables approximate within /
+/// beyond the threshold, and the worst inaccuracy observed.
+fn classify_indexed(program: &Program, array: ArrayId, threshold: f64) -> (usize, usize, f64) {
+    let extent = program.array(array).num_elements();
+    let mut ok = 0;
+    let mut bad = 0;
+    let mut worst = 0.0f64;
+    for (_, r) in program.refs_to(array) {
+        if let AccessFn::Indexed { table, .. } = &r.access {
+            let fit = approximate_table(program.table(*table), extent);
+            worst = worst.max(fit.inaccuracy);
+            if fit.inaccuracy <= threshold {
+                ok += 1;
+            } else {
+                bad += 1;
+            }
+        }
+    }
+    (ok, bad, worst)
+}
+
+/// A trivial Data-to-Core mapping (identity `U`) used for well-approximated
+/// purely indexed arrays.
+fn identity_d2c(array: ArrayId, rank: usize, refs: usize) -> DataToCore {
+    DataToCore {
+        array,
+        u: IMat::identity(rank),
+        g_v: IVec::unit(rank, DATA_PARTITION_DIM),
+        satisfied_refs: 0,
+        total_refs: refs,
+        satisfied_weight: 0,
+        total_weight: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoploc_affine::{AffineAccess, AffineExpr, ArrayDecl, ArrayRef, Loop, LoopNest, Statement};
+    use hoploc_noc::{McPlacement, Mesh};
+
+    fn mapping() -> L2ToMcMapping {
+        L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &McPlacement::Corners)
+    }
+
+    fn stencil_program() -> Program {
+        let mut p = Program::new("stencil");
+        let z = p.add_array(ArrayDecl::new("Z", vec![512, 512], 8));
+        let a = hoploc_affine::IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        p.add_nest(LoopNest::new(
+            vec![Loop::constant(1, 511), Loop::constant(1, 511)],
+            0,
+            vec![Statement::new(
+                vec![
+                    ArrayRef::read(z, AffineAccess::new(a.clone(), IVec::new(vec![-1, 0]))),
+                    ArrayRef::read(z, AffineAccess::new(a.clone(), IVec::zeros(2))),
+                    ArrayRef::write(z, AffineAccess::new(a, IVec::zeros(2))),
+                ],
+                4,
+            )],
+            10,
+        ));
+        p
+    }
+
+    #[test]
+    fn stencil_is_fully_optimized() {
+        let p = stencil_program();
+        let out = optimize_program(&p, &mapping(), PassConfig::default());
+        assert_eq!(out.arrays_optimized(), 1.0);
+        assert_eq!(out.refs_satisfied(), 1.0);
+        assert!(!out.layout(ArrayId(0)).is_original());
+    }
+
+    #[test]
+    fn unreferenced_array_stays_original() {
+        let mut p = stencil_program();
+        let dead = p.add_array(ArrayDecl::new("dead", vec![64], 8));
+        let out = optimize_program(&p, &mapping(), PassConfig::default());
+        assert!(out.layout(dead).is_original());
+        assert!((out.arrays_optimized() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffled_indexed_array_not_optimized() {
+        let mut p = Program::new("shuffle");
+        let x = p.add_array(ArrayDecl::new("X", vec![1024], 8));
+        let n = 1024i64;
+        let shuffled: Vec<i64> = (0..n).map(|k| (k * 389) % n).collect();
+        let t = p.add_table(shuffled);
+        p.add_nest(LoopNest::new(
+            vec![Loop::constant(0, 1024)],
+            0,
+            vec![Statement::new(
+                vec![ArrayRef::indexed_read(x, t, AffineExpr::var(1, 0))],
+                1,
+            )],
+            1,
+        ));
+        let out = optimize_program(&p, &mapping(), PassConfig::default());
+        assert!(out.layout(x).is_original());
+        assert!(matches!(
+            out.reports()[0].reason,
+            Some(LayoutError::ApproximationTooInaccurate { .. })
+        ));
+    }
+
+    #[test]
+    fn near_affine_indexed_array_is_optimized() {
+        let mut p = Program::new("crs");
+        let x = p.add_array(ArrayDecl::new("X", vec![4096], 8));
+        // A banded-matrix column-index pattern: close to the diagonal.
+        let tab: Vec<i64> = (0..4096i64)
+            .map(|k| (k + (k % 5) - 2).clamp(0, 4095))
+            .collect();
+        let t = p.add_table(tab);
+        p.add_nest(LoopNest::new(
+            vec![Loop::constant(0, 4096)],
+            0,
+            vec![Statement::new(
+                vec![ArrayRef::indexed_read(x, t, AffineExpr::var(1, 0))],
+                1,
+            )],
+            1,
+        ));
+        let out = optimize_program(&p, &mapping(), PassConfig::default());
+        assert!(!out.layout(x).is_original());
+        assert_eq!(out.refs_satisfied(), 1.0);
+    }
+
+    #[test]
+    fn shared_mode_produces_shared_layouts() {
+        let p = stencil_program();
+        let cfg = PassConfig {
+            l2_mode: L2Mode::Shared,
+            ..PassConfig::default()
+        };
+        let out = optimize_program(&p, &mapping(), cfg);
+        assert!(!out.layout(ArrayId(0)).is_original());
+    }
+
+    #[test]
+    fn page_granularity_uses_page_units() {
+        let p = stencil_program();
+        let cfg = PassConfig {
+            granularity: Granularity::Page,
+            ..PassConfig::default()
+        };
+        let out = optimize_program(&p, &mapping(), cfg);
+        assert_eq!(out.layout(ArrayId(0)).unit_elems(), 4096 / 8);
+    }
+
+    #[test]
+    fn baseline_keeps_everything_original() {
+        let p = stencil_program();
+        let base = baseline_layout(&p, 64);
+        assert!(base.layout(ArrayId(0)).is_original());
+        assert_eq!(base.arrays_optimized(), 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # hoploc-mem
+//!
+//! DRAM memory-controller model for the hoploc simulator: per-bank queues,
+//! row buffers, FR-FCFS scheduling, a shared response channel, and the
+//! queueing statistics the paper's Figures 4/14/16/18 are built on.
+//!
+//! The *ideal* controller mode ([`McConfig::ideal`]) implements the memory
+//! half of the paper's **optimal scheme** (§2): every request is served at
+//! a fixed row-hit latency with no bank contention.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod controller;
+mod timing;
+
+pub use controller::{Completion, McConfig, McStats, MemoryController, RowPolicy};
+pub use timing::DramTiming;

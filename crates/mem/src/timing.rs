@@ -1,0 +1,55 @@
+//! DRAM device timing parameters.
+
+/// Service-time parameters of a DRAM device, expressed in core cycles.
+///
+/// Defaults are derived from the Micron DDR3-1600 part the paper simulates
+/// (Table 1), assuming a 2 GHz core clock: CAS ≈ 13.75 ns ≈ 28 cycles,
+/// a closed-row activation adds tRP + tRCD ≈ 27.5 ns ≈ 55 cycles, and a
+/// 256-byte L2 line occupies a dual-rate 25.6 GB/s channel ≈ 10 ns ≈ 20
+/// cycles — the channel bounds a controller's throughput at roughly the
+/// corner-link bandwidth, exactly the pressure §6.2's M1-vs-M2 discussion
+/// turns on.
+///
+/// # Examples
+///
+/// ```
+/// use hoploc_mem::DramTiming;
+///
+/// let t = DramTiming::default();
+/// assert!(t.row_miss_cycles > t.row_hit_cycles);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DramTiming {
+    /// Column access to an already-open row.
+    pub row_hit_cycles: u64,
+    /// Precharge + activate + column access on a row-buffer miss.
+    pub row_miss_cycles: u64,
+    /// Data-burst occupancy of the shared channel per request.
+    pub burst_cycles: u64,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self {
+            row_hit_cycles: 28,
+            row_miss_cycles: 83,
+            burst_cycles: 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ddr3_shaped() {
+        let t = DramTiming::default();
+        // A row miss should cost roughly 2-4x a row hit for DDR3 parts.
+        let ratio = t.row_miss_cycles as f64 / t.row_hit_cycles as f64;
+        assert!(
+            (2.0..4.0).contains(&ratio),
+            "ratio {ratio} out of DDR3 range"
+        );
+    }
+}

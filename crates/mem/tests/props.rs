@@ -1,0 +1,98 @@
+//! Property-based tests of the memory controller: conservation, ordering,
+//! and timing invariants under arbitrary request streams.
+
+use hoploc_mem::{McConfig, MemoryController};
+use proptest::prelude::*;
+
+/// Strategy: a stream of (address, inter-arrival gap) pairs.
+fn stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..1 << 20, 0u64..200), 1..120)
+}
+
+proptest! {
+    #[test]
+    fn every_request_completes_exactly_once(reqs in stream()) {
+        let mut mc = MemoryController::new(McConfig::default());
+        let mut now = 0;
+        let mut tokens = Vec::new();
+        for (i, &(addr, gap)) in reqs.iter().enumerate() {
+            now += gap;
+            tokens.extend(mc.enqueue(addr, i as u64, now).into_iter().map(|c| c.token));
+        }
+        tokens.extend(mc.flush().into_iter().map(|c| c.token));
+        tokens.sort_unstable();
+        let expect: Vec<u64> = (0..reqs.len() as u64).collect();
+        prop_assert_eq!(tokens, expect);
+    }
+
+    #[test]
+    fn completions_never_precede_service(reqs in stream()) {
+        let mut mc = MemoryController::new(McConfig::default());
+        let timing = *mc.config();
+        let min_service = timing.timing.row_hit_cycles + timing.timing.burst_cycles;
+        let mut now = 0;
+        let mut arrivals = std::collections::HashMap::new();
+        let mut done = Vec::new();
+        for (i, &(addr, gap)) in reqs.iter().enumerate() {
+            now += gap;
+            arrivals.insert(i as u64, now);
+            done.extend(mc.enqueue(addr, i as u64, now));
+        }
+        done.extend(mc.flush());
+        for c in done {
+            let arrival = arrivals[&c.token];
+            prop_assert!(c.finish >= arrival + min_service,
+                "token {} finished {} < arrival {} + min {}",
+                c.token, c.finish, arrival, min_service);
+            prop_assert_eq!(arrival + c.queue_cycles + c.service_cycles, c.finish);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(reqs in stream()) {
+        let mut mc = MemoryController::new(McConfig::default());
+        let mut now = 0;
+        for (i, &(addr, gap)) in reqs.iter().enumerate() {
+            now += gap;
+            mc.enqueue(addr, i as u64, now);
+        }
+        mc.flush();
+        let s = mc.stats();
+        prop_assert_eq!(s.served, reqs.len() as u64);
+        prop_assert!(s.row_hits <= s.served);
+        prop_assert!(s.avg_memory_latency() >= 0.0);
+    }
+
+    #[test]
+    fn ideal_mode_is_flat_and_instant(reqs in stream()) {
+        let mut mc = MemoryController::new(McConfig { ideal: true, ..McConfig::default() });
+        let mut now = 0;
+        for (i, &(addr, gap)) in reqs.iter().enumerate() {
+            now += gap;
+            let done = mc.enqueue(addr, i as u64, now);
+            prop_assert_eq!(done.len(), 1);
+            prop_assert_eq!(done[0].queue_cycles, 0);
+        }
+        prop_assert!(mc.flush().is_empty());
+    }
+
+    #[test]
+    fn poll_makes_progress(reqs in stream()) {
+        // Whatever is pending must become serviceable by its earliest
+        // start time — polls never deadlock.
+        let mut mc = MemoryController::new(McConfig::default());
+        let mut now = 0;
+        let mut completed = 0usize;
+        for (i, &(addr, gap)) in reqs.iter().enumerate() {
+            now += gap;
+            completed += mc.enqueue(addr, i as u64, now).len();
+        }
+        let mut guard = 0;
+        while let Some(t) = mc.earliest_pending_start() {
+            completed += mc.poll(t + 1).len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "poll loop failed to converge");
+        }
+        prop_assert_eq!(completed, reqs.len());
+    }
+}

@@ -1,0 +1,463 @@
+//! The contention-aware mesh interconnect model.
+//!
+//! Messages traverse XY routes hop by hop. Every directed link serializes
+//! the flits of each message crossing it, so two messages sharing a link at
+//! the same time queue behind one another. This is the mechanism coupling
+//! on-chip and off-chip traffic that the paper exploits: localizing
+//! off-chip accesses frees link bandwidth, which also speeds up on-chip
+//! (cache/coherence) traffic.
+
+use crate::geometry::{Mesh, NodeId};
+use std::fmt;
+
+/// Classification of a message for statistics, mirroring the paper's
+/// on-chip vs. off-chip latency breakdown.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TrafficClass {
+    /// Cache-to-cache / directory / L1→L2 traffic.
+    OnChip,
+    /// Traffic between an L2/core and a memory controller (either
+    /// direction).
+    OffChip,
+}
+
+/// Maximum number of hops tracked by the histogram (covers meshes up to
+/// 16×16).
+pub const MAX_HOPS: usize = 32;
+
+/// Per-class accumulated network statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ClassStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Sum of end-to-end network latencies (cycles).
+    pub total_latency: u64,
+    /// Sum of hop counts.
+    pub total_hops: u64,
+    /// `hist[h]` counts messages that traversed exactly `h` links.
+    pub hop_histogram: Vec<u64>,
+}
+
+impl ClassStats {
+    fn new() -> Self {
+        Self {
+            hop_histogram: vec![0; MAX_HOPS],
+            ..Default::default()
+        }
+    }
+
+    /// Mean network latency in cycles (0 if no messages).
+    pub fn avg_latency(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.messages as f64
+        }
+    }
+
+    /// Mean hops per message (0 if no messages).
+    pub fn avg_hops(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.messages as f64
+        }
+    }
+
+    /// Cumulative distribution of hop counts: `cdf()[h]` is the fraction of
+    /// messages that traversed `h` or fewer links (Figure 15).
+    pub fn cdf(&self) -> Vec<f64> {
+        let total = self.messages.max(1) as f64;
+        let mut acc = 0u64;
+        self.hop_histogram
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc as f64 / total
+            })
+            .collect()
+    }
+}
+
+/// Network-wide statistics, split by [`TrafficClass`].
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// On-chip (cache / coherence) traffic.
+    pub on_chip: ClassStats,
+    /// Off-chip (to/from memory controllers) traffic.
+    pub off_chip: ClassStats,
+}
+
+impl NetStats {
+    fn new() -> Self {
+        Self {
+            on_chip: ClassStats::new(),
+            off_chip: ClassStats::new(),
+        }
+    }
+
+    /// The stats bucket for a class.
+    pub fn class(&self, class: TrafficClass) -> &ClassStats {
+        match class {
+            TrafficClass::OnChip => &self.on_chip,
+            TrafficClass::OffChip => &self.off_chip,
+        }
+    }
+}
+
+/// Dimension-ordered routing variant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Routing {
+    /// X first, then Y (Table 1's XY routing).
+    #[default]
+    XY,
+    /// Y first, then X — the other deadlock-free dimension order, exposed
+    /// so experiments can check their conclusions are not artifacts of
+    /// one route shape.
+    YX,
+}
+
+/// Timing parameters of the interconnect (defaults match Table 1).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct NocConfig {
+    /// Per-hop link traversal latency in cycles (Table 1: 4).
+    pub hop_cycles: u64,
+    /// Router pipeline depth in cycles (Table 1: 2).
+    pub router_cycles: u64,
+    /// Link width in bytes (Table 1: 16 B).
+    pub link_bytes: u32,
+    /// Whether links serialize competing messages. Disable for the
+    /// contention-free ablation.
+    pub contention: bool,
+    /// Dimension order of the deterministic routes.
+    pub routing: Routing,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self {
+            hop_cycles: 4,
+            router_cycles: 2,
+            link_bytes: 16,
+            contention: true,
+            routing: Routing::default(),
+        }
+    }
+}
+
+/// The mesh interconnect with per-link occupancy tracking.
+///
+/// # Examples
+///
+/// ```
+/// use hoploc_noc::{Mesh, Network, NocConfig, NodeId, TrafficClass};
+///
+/// let mut net = Network::new(Mesh::new(4, 4), NocConfig::default());
+/// let arrival = net.send(NodeId(0), NodeId(15), 8, TrafficClass::OffChip, 100);
+/// assert!(arrival > 100);
+/// assert_eq!(net.stats().off_chip.messages, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    mesh: Mesh,
+    config: NocConfig,
+    /// `free_at[node * 4 + dir]`: cycle at which the directed link leaving
+    /// `node` in direction `dir` becomes free.
+    free_at: Vec<u64>,
+    /// Flit-cycles consumed per directed link (utilization accounting).
+    flit_cycles: Vec<u64>,
+    stats: NetStats,
+}
+
+/// Direction encoding for link ids.
+const EAST: usize = 0;
+const WEST: usize = 1;
+const NORTH: usize = 2;
+const SOUTH: usize = 3;
+
+impl Network {
+    /// Creates an idle network.
+    pub fn new(mesh: Mesh, config: NocConfig) -> Self {
+        Self {
+            mesh,
+            config,
+            free_at: vec![0; mesh.num_nodes() * 4],
+            flit_cycles: vec![0; mesh.num_nodes() * 4],
+            stats: NetStats::new(),
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Resets statistics (link state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::new();
+    }
+
+    /// Number of flits a payload of `bytes` occupies on a link.
+    pub fn flits(&self, bytes: u32) -> u64 {
+        (bytes as u64)
+            .div_ceil(self.config.link_bytes as u64)
+            .max(1)
+    }
+
+    /// Sends a message and returns its arrival cycle at `dst`.
+    ///
+    /// A message of `bytes` payload departs `src` at cycle `now`, traverses
+    /// the XY route, and serializes on each directed link. Sending to self
+    /// arrives immediately at `now`.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        class: TrafficClass,
+        now: u64,
+    ) -> u64 {
+        let hops = self.mesh.hop_distance(src, dst) as usize;
+        let flits = self.flits(bytes);
+        let mut t = now;
+        if hops > 0 {
+            let route = match self.config.routing {
+                Routing::XY => self.mesh.xy_route(src, dst),
+                Routing::YX => self.mesh.yx_route(src, dst),
+            };
+            let mut from = src;
+            for &next in &route {
+                let link = self.link_id(from, next);
+                self.flit_cycles[link] += flits;
+                let depart = if self.config.contention {
+                    let d = t.max(self.free_at[link]);
+                    self.free_at[link] = d + flits;
+                    d
+                } else {
+                    t
+                };
+                // Wire + downstream router pipeline; the final hop still
+                // pays the router to reach the ejection port.
+                t = depart + self.config.hop_cycles + self.config.router_cycles;
+                from = next;
+            }
+        }
+        let stats = match class {
+            TrafficClass::OnChip => &mut self.stats.on_chip,
+            TrafficClass::OffChip => &mut self.stats.off_chip,
+        };
+        stats.messages += 1;
+        stats.total_latency += t - now;
+        stats.total_hops += hops as u64;
+        stats.hop_histogram[hops.min(MAX_HOPS - 1)] += 1;
+        t
+    }
+
+    /// Utilization of every directed link over `elapsed` cycles: the
+    /// fraction of cycles each link spent transmitting flits. Index is
+    /// `node*4 + direction` (E, W, N, S). Quantifies the corner hotspots
+    /// that bound localized configurations.
+    pub fn link_utilization(&self, elapsed: u64) -> Vec<f64> {
+        let e = elapsed.max(1) as f64;
+        self.flit_cycles.iter().map(|&f| f as f64 / e).collect()
+    }
+
+    /// The most-utilized directed link over `elapsed` cycles, as
+    /// `(node, direction, utilization)`.
+    pub fn hottest_link(&self, elapsed: u64) -> (NodeId, usize, f64) {
+        let util = self.link_utilization(elapsed);
+        let (idx, &u) = util
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite utilizations"))
+            .map(|(i, _)| (i, &util[i]))
+            .expect("network has links");
+        (NodeId((idx / 4) as u16), idx % 4, u)
+    }
+
+    /// Pure-distance latency of a message without mutating link state:
+    /// what [`send`](Self::send) would return on an idle network.
+    pub fn uncontended_latency(&self, src: NodeId, dst: NodeId) -> u64 {
+        let hops = self.mesh.hop_distance(src, dst) as u64;
+        hops * (self.config.hop_cycles + self.config.router_cycles)
+    }
+
+    fn link_id(&self, from: NodeId, to: NodeId) -> usize {
+        let (fx, fy) = self.mesh.coords(from);
+        let (tx, ty) = self.mesh.coords(to);
+        let dir = if tx == fx + 1 && ty == fy {
+            EAST
+        } else if fx == tx + 1 && ty == fy {
+            WEST
+        } else if tx == fx && ty == fy + 1 {
+            SOUTH
+        } else if tx == fx && fy == ty + 1 {
+            NORTH
+        } else {
+            panic!("link between non-adjacent nodes {from} -> {to}");
+        };
+        from.0 as usize * 4 + dir
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} mesh, on-chip: {} msgs avg {:.1}cy, off-chip: {} msgs avg {:.1}cy",
+            self.mesh.width(),
+            self.mesh.height(),
+            self.stats.on_chip.messages,
+            self.stats.on_chip.avg_latency(),
+            self.stats.off_chip.messages,
+            self.stats.off_chip.avg_latency(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net4() -> Network {
+        Network::new(Mesh::new(4, 4), NocConfig::default())
+    }
+
+    #[test]
+    fn idle_latency_is_hops_times_cost() {
+        let mut net = net4();
+        // 0 -> 3 is 3 hops; each hop costs 4 + 2 cycles.
+        let arrival = net.send(NodeId(0), NodeId(3), 8, TrafficClass::OnChip, 0);
+        assert_eq!(arrival, 3 * 6);
+        assert_eq!(net.uncontended_latency(NodeId(0), NodeId(3)), 18);
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut net = net4();
+        assert_eq!(
+            net.send(NodeId(5), NodeId(5), 64, TrafficClass::OnChip, 42),
+            42
+        );
+        assert_eq!(net.stats().on_chip.hop_histogram[0], 1);
+    }
+
+    #[test]
+    fn contention_delays_second_message() {
+        let mut net = net4();
+        // Two large messages over the same first link at the same time.
+        let a = net.send(NodeId(0), NodeId(3), 256, TrafficClass::OffChip, 0);
+        let b = net.send(NodeId(0), NodeId(3), 256, TrafficClass::OffChip, 0);
+        assert!(b > a, "second message must queue behind the first");
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interfere() {
+        let mut net = net4();
+        let a = net.send(NodeId(0), NodeId(1), 256, TrafficClass::OnChip, 0);
+        let b = net.send(NodeId(14), NodeId(15), 256, TrafficClass::OnChip, 0);
+        assert_eq!(a, b, "disjoint messages see identical latency");
+    }
+
+    #[test]
+    fn contention_off_is_pure_distance() {
+        let mut net = Network::new(
+            Mesh::new(4, 4),
+            NocConfig {
+                contention: false,
+                ..NocConfig::default()
+            },
+        );
+        let a = net.send(NodeId(0), NodeId(3), 256, TrafficClass::OffChip, 0);
+        let b = net.send(NodeId(0), NodeId(3), 256, TrafficClass::OffChip, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_split_by_class() {
+        let mut net = net4();
+        net.send(NodeId(0), NodeId(1), 8, TrafficClass::OnChip, 0);
+        net.send(NodeId(0), NodeId(2), 8, TrafficClass::OffChip, 0);
+        net.send(NodeId(0), NodeId(3), 8, TrafficClass::OffChip, 0);
+        assert_eq!(net.stats().on_chip.messages, 1);
+        assert_eq!(net.stats().off_chip.messages, 2);
+        assert_eq!(net.stats().off_chip.total_hops, 5);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let mut net = net4();
+        for d in 0..4u16 {
+            net.send(NodeId(0), NodeId(d), 8, TrafficClass::OffChip, 0);
+        }
+        let cdf = net.stats().off_chip.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((cdf[MAX_HOPS - 1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn yx_routing_changes_route_not_distance() {
+        let mesh = Mesh::new(4, 4);
+        let mut xy = Network::new(mesh, NocConfig::default());
+        let mut yx = Network::new(
+            mesh,
+            NocConfig {
+                routing: Routing::YX,
+                ..NocConfig::default()
+            },
+        );
+        let a = xy.send(NodeId(1), NodeId(14), 8, TrafficClass::OnChip, 0);
+        let b = yx.send(NodeId(1), NodeId(14), 8, TrafficClass::OnChip, 0);
+        assert_eq!(a, b, "idle latency is route-shape independent");
+        assert_eq!(xy.stats().on_chip.total_hops, yx.stats().on_chip.total_hops);
+    }
+
+    #[test]
+    fn link_utilization_tracks_flit_cycles() {
+        let mut net = net4();
+        // 256B over the single 0->1 link: 16 flits.
+        net.send(NodeId(0), NodeId(1), 256, TrafficClass::OffChip, 0);
+        let util = net.link_utilization(160);
+        let east0 = util[0]; // node 0, EAST
+        assert!(
+            (east0 - 0.1).abs() < 1e-9,
+            "16 flit-cycles / 160 = 0.1, got {east0}"
+        );
+        let (node, _, u) = net.hottest_link(160);
+        assert_eq!(node, NodeId(0));
+        assert!((u - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flit_count_rounds_up() {
+        let net = net4();
+        assert_eq!(net.flits(8), 1);
+        assert_eq!(net.flits(16), 1);
+        assert_eq!(net.flits(17), 2);
+        assert_eq!(net.flits(256), 16);
+    }
+
+    #[test]
+    fn big_messages_slower_than_small_under_load() {
+        let mut net = net4();
+        // Saturate a link with many data messages, then measure a control
+        // message's latency; it must exceed the idle latency.
+        for _ in 0..10 {
+            net.send(NodeId(0), NodeId(3), 256, TrafficClass::OffChip, 0);
+        }
+        let arrival = net.send(NodeId(0), NodeId(3), 8, TrafficClass::OnChip, 0);
+        assert!(arrival > net.uncontended_latency(NodeId(0), NodeId(3)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Simulator configuration (Table 1 of the paper).
+
+use hoploc_cache::CacheConfig;
+use hoploc_layout::{Granularity, L2Mode};
+use hoploc_mem::McConfig;
+use hoploc_noc::{McPlacement, Mesh, NocConfig};
+
+/// Full-system configuration. `Default` reproduces Table 1: an 8×8 mesh of
+/// two-issue in-order cores, 16 KB L1s (64 B lines), 256 KB L2s (256 B
+/// lines), L1/L2/hop latencies of 2/10/4 cycles, 16 B links with 2-cycle
+/// routers, XY routing, four corner MCs with FR-FCFS over 4 banks and 4 KB
+/// row buffers, and 4 KB pages.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Mesh dimensions.
+    pub mesh: Mesh,
+    /// Where the memory controllers attach.
+    pub placement: McPlacement,
+    /// L1 geometry (per node).
+    pub l1: CacheConfig,
+    /// L2 geometry (per node: a private cache or one shared-SNUCA bank).
+    pub l2: CacheConfig,
+    /// L1 access latency in cycles.
+    pub l1_latency: u64,
+    /// L2 access latency in cycles.
+    pub l2_latency: u64,
+    /// Interconnect timing.
+    pub noc: NocConfig,
+    /// Per-controller memory configuration.
+    pub mc: McConfig,
+    /// Last-level cache organization.
+    pub l2_mode: L2Mode,
+    /// Physical-address interleaving granularity across MCs.
+    pub granularity: Granularity,
+    /// OS page size in bytes.
+    pub page_bytes: u64,
+    /// Control-message payload in bytes.
+    pub control_bytes: u32,
+    /// When `true`, run the §2 *optimal scheme*: every off-chip request is
+    /// redirected to the requester's nearest MC and served at a fixed
+    /// row-hit latency with no bank contention.
+    pub optimal: bool,
+    /// Outstanding L1 misses a thread may overlap (MSHRs / memory-level
+    /// parallelism of the two-issue cores). `1` models fully blocking
+    /// loads; memory-parallel applications such as fma3d and minighost
+    /// sustain more (§6.2).
+    pub mlp: u32,
+    /// Model dirty-line writebacks from the L2s to memory (extra off-chip
+    /// traffic; off by default to match the calibrated figures, enabled by
+    /// the writeback ablation).
+    pub writebacks: bool,
+    /// Physical memory capacity in bytes (bounds the per-MC frame pools of
+    /// the page allocator).
+    pub memory_bytes: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            mesh: Mesh::new(8, 8),
+            placement: McPlacement::Corners,
+            l1: CacheConfig::l1_default(),
+            l2: CacheConfig::l2_default(),
+            l1_latency: 2,
+            l2_latency: 10,
+            noc: NocConfig::default(),
+            mc: McConfig::default(),
+            l2_mode: L2Mode::Private,
+            granularity: Granularity::Page,
+            page_bytes: 4096,
+            control_bytes: 8,
+            optimal: false,
+            mlp: 1,
+            writebacks: false,
+            memory_bytes: 4 << 30,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The capacity-scaled configuration the figure harnesses use: Table 1
+    /// structure and latencies with per-node caches shrunk 8× (L1 4 KB,
+    /// L2 32 KB), matching workload inputs shrunk from the paper's
+    /// 124 MB–1.9 GB so that the input-to-cache ratio — which determines
+    /// the off-chip access behaviour the paper studies — is preserved at
+    /// tractable simulation cost.
+    pub fn scaled() -> Self {
+        Self {
+            l1: CacheConfig::l1_scaled(),
+            l2: CacheConfig::l2_scaled(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of cores/nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.mesh.num_nodes()
+    }
+
+    /// Number of memory controllers.
+    pub fn num_mcs(&self) -> usize {
+        self.placement.mc_count()
+    }
+
+    /// The interleave unit implied by the granularity: the L2 line size for
+    /// cache-line interleaving, the page size for page interleaving.
+    pub fn interleave_bytes(&self) -> u64 {
+        match self.granularity {
+            Granularity::CacheLine => self.l2.line_bytes,
+            Granularity::Page => self.page_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = SimConfig::default();
+        assert_eq!(c.num_nodes(), 64);
+        assert_eq!(c.num_mcs(), 4);
+        assert_eq!(c.l1.size_bytes, 16 * 1024);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l1_latency, 2);
+        assert_eq!(c.l2_latency, 10);
+        assert_eq!(c.noc.hop_cycles, 4);
+        assert_eq!(c.page_bytes, 4096);
+        // 8 independent banks per controller (see hoploc-mem docs).
+        assert_eq!(c.mc.banks, 8);
+    }
+
+    #[test]
+    fn interleave_unit_follows_granularity() {
+        let mut c = SimConfig::default();
+        assert_eq!(c.interleave_bytes(), 4096);
+        c.granularity = Granularity::CacheLine;
+        assert_eq!(c.interleave_bytes(), 256);
+    }
+}

@@ -1,0 +1,798 @@
+//! The event-driven full-system simulator.
+//!
+//! Each thread replays its trace in order, blocking on every memory
+//! access (in-order cores). Accesses walk the Figure 2 flows:
+//!
+//! * **Private L2** (Figure 2a): L1 → local L2 → directory at the owning
+//!   MC → either a cache-to-cache forward (on-chip) or an FR-FCFS DRAM
+//!   access followed by a data response (off-chip).
+//! * **Shared L2** (Figure 2b): L1 → home bank (by physical address) →
+//!   on a home miss, the MC and back through the home bank.
+//!
+//! All messages share the contention-modelled mesh, so off-chip traffic
+//! delays on-chip traffic exactly as §1 describes. The **optimal scheme**
+//! of §2 redirects every off-chip request to the requester's nearest MC
+//! and serves it at fixed row-hit latency.
+
+use crate::config::SimConfig;
+use crate::os::{Os, PagePolicy};
+use crate::stats::RunStats;
+use crate::trace::TraceWorkload;
+use hoploc_cache::{Directory, SetAssocCache};
+use hoploc_layout::L2Mode;
+use hoploc_mem::{Completion, MemoryController};
+use hoploc_noc::{L2ToMcMapping, McId, Network, NodeId, TrafficClass};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EventKind {
+    /// Thread issues its next trace entry.
+    Issue { thread: usize },
+    /// An overlapped (MSHR-tracked) miss returns to its thread.
+    MissReturn { thread: usize },
+    /// A memory completion surfaced earlier matures (response departs).
+    MemDone { token: u64 },
+    /// Re-run the FR-FCFS scheduler of a controller.
+    McPoll { mc: usize },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingMem {
+    thread: usize,
+    /// Node the MC responds to (requester for private, home bank for
+    /// shared).
+    responder: NodeId,
+    /// Shared-L2 only: the requester the home bank forwards to.
+    final_dst: Option<NodeId>,
+    mc: usize,
+    l2_line: u64,
+    /// A dirty-eviction writeback: fire-and-forget, no response, no
+    /// thread to resume.
+    writeback: bool,
+}
+
+struct ThreadState {
+    node: NodeId,
+    cursor: usize,
+    /// Misses currently outstanding (bounded by the configured MLP).
+    outstanding: u32,
+    /// The thread consumed an access but could not continue (MSHRs full).
+    blocked: bool,
+    finish: u64,
+}
+
+/// The simulator. Construct once per run; [`Simulator::run`] consumes a
+/// workload and produces [`RunStats`].
+pub struct Simulator {
+    config: SimConfig,
+    mapping: L2ToMcMapping,
+    os: Os,
+    net: Network,
+    mcs: Vec<MemoryController>,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    dir: Directory,
+    // Run state.
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    threads: Vec<ThreadState>,
+    pending: HashMap<u64, PendingMem>,
+    next_token: u64,
+    mc_next_poll: Vec<Option<u64>>,
+    // Stats.
+    total_accesses: u64,
+    l1_hits: u64,
+    l2_hits: u64,
+    cache_to_cache: u64,
+    offchip: u64,
+    writebacks: u64,
+    node_mc_requests: Vec<Vec<u64>>,
+}
+
+impl Simulator {
+    /// Builds a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` disagrees with the configuration's mesh or MC
+    /// placement.
+    pub fn new(config: SimConfig, mapping: L2ToMcMapping, policy: PagePolicy) -> Self {
+        assert_eq!(
+            *mapping.mesh(),
+            config.mesh,
+            "mapping mesh must match config"
+        );
+        assert_eq!(
+            mapping.mc_nodes(),
+            config.placement.attach_nodes(&config.mesh).as_slice(),
+            "mapping MC placement must match config"
+        );
+        let n = config.num_nodes();
+        let n_mcs = config.num_mcs();
+        let mut mc_cfg = config.mc;
+        mc_cfg.ideal = config.optimal;
+        Self {
+            os: Os::new(config.page_bytes, config.memory_bytes, n_mcs, policy),
+            net: Network::new(config.mesh, config.noc),
+            mcs: (0..n_mcs).map(|_| MemoryController::new(mc_cfg)).collect(),
+            l1: (0..n).map(|_| SetAssocCache::new(config.l1)).collect(),
+            l2: (0..n).map(|_| SetAssocCache::new(config.l2)).collect(),
+            dir: Directory::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            threads: Vec::new(),
+            pending: HashMap::new(),
+            next_token: 0,
+            mc_next_poll: vec![None; n_mcs],
+            total_accesses: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            cache_to_cache: 0,
+            offchip: 0,
+            writebacks: 0,
+            node_mc_requests: vec![vec![0; n_mcs]; n],
+            config,
+            mapping,
+        }
+    }
+
+    /// Runs a workload to completion and returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace references a node outside the mesh.
+    pub fn run(mut self, workload: &TraceWorkload) -> RunStats {
+        for t in &workload.threads {
+            assert!(
+                (t.node.0 as usize) < self.config.num_nodes(),
+                "trace bound to node outside the mesh"
+            );
+        }
+        self.threads = workload
+            .threads
+            .iter()
+            .map(|t| ThreadState {
+                node: t.node,
+                cursor: 0,
+                outstanding: 0,
+                blocked: false,
+                finish: 0,
+            })
+            .collect();
+        for (i, t) in workload.threads.iter().enumerate() {
+            if let Some(first) = t.accesses.first() {
+                self.schedule(first.gap as u64, EventKind::Issue { thread: i });
+            }
+        }
+
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            match ev.kind {
+                EventKind::Issue { thread } => self.handle_issue(workload, thread, ev.time),
+                EventKind::MissReturn { thread } => self.miss_return(workload, thread, ev.time),
+                EventKind::MemDone { token } => self.handle_mem_done(workload, token, ev.time),
+                EventKind::McPoll { mc } => self.handle_poll(mc, ev.time),
+            }
+            // Liveness backstop: if the heap drained while requests are
+            // still pending (e.g. a poll raced a flush), force scheduling.
+            if self.heap.is_empty() && !self.pending.is_empty() {
+                for mc in 0..self.mcs.len() {
+                    let done = self.mcs[mc].flush();
+                    self.schedule_completions(&done);
+                }
+            }
+        }
+        assert!(
+            self.pending.is_empty(),
+            "simulation ended with in-flight requests"
+        );
+
+        let exec_cycles = self.threads.iter().map(|t| t.finish).max().unwrap_or(0);
+        let mut app_finish = vec![0u64; workload.num_apps()];
+        for (i, t) in self.threads.iter().enumerate() {
+            let app = workload.app_of_thread[i];
+            app_finish[app] = app_finish[app].max(t.finish);
+        }
+        let link_utilization = self.net.link_utilization(exec_cycles.max(1));
+        RunStats {
+            exec_cycles,
+            total_accesses: self.total_accesses,
+            l1_hits: self.l1_hits,
+            l2_hits: self.l2_hits,
+            cache_to_cache: self.cache_to_cache,
+            offchip_accesses: self.offchip,
+            writebacks: self.writebacks,
+            net: self.net.stats().clone(),
+            mc: self.mcs.iter().map(|m| *m.stats()).collect(),
+            node_mc_requests: self.node_mc_requests,
+            app_finish,
+            os_fallbacks: self.os.fallback_allocations,
+            link_utilization,
+        }
+    }
+
+    fn schedule(&mut self, time: u64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// The controller owning a physical address under the configured
+    /// interleaving.
+    fn mc_of_paddr(&self, paddr: u64) -> usize {
+        ((paddr / self.config.interleave_bytes()) % self.config.num_mcs() as u64) as usize
+    }
+
+    fn mc_node(&self, mc: usize) -> NodeId {
+        self.mapping.mc_node(McId(mc as u16))
+    }
+
+    /// The controller-local DRAM address: hardware strips the MC-selection
+    /// bits before row/bank decoding, so each controller sees a dense
+    /// address space. Without this, interleaving-striped frames would
+    /// alias onto a fraction of the banks.
+    fn mc_local_addr(&self, paddr: u64) -> u64 {
+        let unit = self.config.interleave_bytes();
+        let n = self.config.num_mcs() as u64;
+        (paddr / (unit * n)) * unit + paddr % unit
+    }
+
+    fn handle_issue(&mut self, workload: &TraceWorkload, thread: usize, now: u64) {
+        let node = self.threads[thread].node;
+        let access = workload.threads[thread].accesses[self.threads[thread].cursor];
+        self.total_accesses += 1;
+
+        let paddr = self.os.translate(access.vaddr, node, &self.mapping);
+        let t1 = now + self.config.l1_latency;
+        let l1_line = paddr / self.config.l1.line_bytes;
+        if self.l1[node.0 as usize]
+            .access_rw(l1_line, access.write)
+            .hit
+        {
+            self.l1_hits += 1;
+            self.after_access(workload, thread, t1, false);
+            return;
+        }
+        let l2_line = paddr / self.config.l2.line_bytes;
+        match self.config.l2_mode {
+            L2Mode::Private => {
+                self.private_l2_access(workload, thread, node, paddr, l2_line, t1, access.write)
+            }
+            L2Mode::Shared => {
+                self.shared_l2_access(workload, thread, node, paddr, l2_line, t1, access.write)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn private_l2_access(
+        &mut self,
+        workload: &TraceWorkload,
+        thread: usize,
+        node: NodeId,
+        paddr: u64,
+        l2_line: u64,
+        t1: u64,
+        write: bool,
+    ) {
+        let t2 = t1 + self.config.l2_latency;
+        let res = self.l2[node.0 as usize].access_rw(l2_line, write);
+        if res.hit {
+            self.l2_hits += 1;
+            self.after_access(workload, thread, t2, false);
+            return;
+        }
+        // The replaced line leaves this L2: tell its directory slice
+        // (fire-and-forget control message).
+        if let Some(evicted) = res.evicted {
+            self.dir.remove_sharer(evicted, node.0 as usize);
+            let ev_mc = self.mc_of_paddr(evicted * self.config.l2.line_bytes);
+            let dst = self.mc_node(ev_mc);
+            if self.config.writebacks && res.evicted_dirty {
+                // Dirty line travels to memory: a data message plus a DRAM
+                // write, neither of which blocks the thread.
+                self.writebacks += 1;
+                let at = self.net.send(
+                    node,
+                    dst,
+                    self.config.l2.line_bytes as u32,
+                    TrafficClass::OffChip,
+                    t2,
+                );
+                self.enqueue_mem(
+                    evicted * self.config.l2.line_bytes,
+                    at,
+                    PendingMem {
+                        thread: usize::MAX,
+                        responder: dst,
+                        final_dst: None,
+                        mc: ev_mc,
+                        l2_line: evicted,
+                        writeback: true,
+                    },
+                );
+            } else {
+                self.net.send(
+                    node,
+                    dst,
+                    self.config.control_bytes,
+                    TrafficClass::OnChip,
+                    t2,
+                );
+            }
+        }
+
+        let mc = if self.config.optimal {
+            self.mapping.nearest_mc(node).0 as usize
+        } else {
+            self.mc_of_paddr(paddr)
+        };
+        let mc_node = self.mc_node(mc);
+        let sharers = self.dir.lookup(l2_line, node.0 as usize);
+        if let Some(&owner) = sharers
+            .iter()
+            .min_by_key(|&&s| self.config.mesh.hop_distance(node, NodeId(s as u16)))
+        {
+            // On-chip fulfilment: requester → directory → owner → requester.
+            self.cache_to_cache += 1;
+            let owner = NodeId(owner as u16);
+            let t3 = self.net.send(
+                node,
+                mc_node,
+                self.config.control_bytes,
+                TrafficClass::OnChip,
+                t2,
+            );
+            let t4 = self.net.send(
+                mc_node,
+                owner,
+                self.config.control_bytes,
+                TrafficClass::OnChip,
+                t3,
+            );
+            let t5 = t4 + self.config.l2_latency;
+            let t6 = self.net.send(
+                owner,
+                node,
+                self.config.l2.line_bytes as u32,
+                TrafficClass::OnChip,
+                t5,
+            );
+            self.dir.add_sharer(l2_line, node.0 as usize);
+            self.schedule(t6, EventKind::MissReturn { thread });
+            self.after_access(workload, thread, t2, true);
+        } else {
+            // Off-chip: requester → MC (request), DRAM, MC → requester (data).
+            self.offchip += 1;
+            self.node_mc_requests[node.0 as usize][mc] += 1;
+            let t3 = self.net.send(
+                node,
+                mc_node,
+                self.config.control_bytes,
+                TrafficClass::OffChip,
+                t2,
+            );
+            self.enqueue_mem(
+                paddr,
+                t3,
+                PendingMem {
+                    thread,
+                    responder: node,
+                    final_dst: None,
+                    mc,
+                    l2_line,
+                    writeback: false,
+                },
+            );
+            self.after_access(workload, thread, t2, true);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn shared_l2_access(
+        &mut self,
+        workload: &TraceWorkload,
+        thread: usize,
+        node: NodeId,
+        paddr: u64,
+        l2_line: u64,
+        t1: u64,
+        write: bool,
+    ) {
+        let home = NodeId((l2_line % self.config.num_nodes() as u64) as u16);
+        let t2 = self.net.send(
+            node,
+            home,
+            self.config.control_bytes,
+            TrafficClass::OnChip,
+            t1,
+        );
+        let t3 = t2 + self.config.l2_latency;
+        let res = self.l2[home.0 as usize].access_rw(l2_line, write);
+        if self.config.writebacks && res.evicted_dirty {
+            if let Some(evicted) = res.evicted {
+                self.writebacks += 1;
+                let ev_mc = self.mc_of_paddr(evicted * self.config.l2.line_bytes);
+                let dst = self.mc_node(ev_mc);
+                let at = self.net.send(
+                    home,
+                    dst,
+                    self.config.l2.line_bytes as u32,
+                    TrafficClass::OffChip,
+                    t3,
+                );
+                self.enqueue_mem(
+                    evicted * self.config.l2.line_bytes,
+                    at,
+                    PendingMem {
+                        thread: usize::MAX,
+                        responder: dst,
+                        final_dst: None,
+                        mc: ev_mc,
+                        l2_line: evicted,
+                        writeback: true,
+                    },
+                );
+            }
+        }
+        if res.hit {
+            self.l2_hits += 1;
+            let t4 = self.net.send(
+                home,
+                node,
+                self.config.l2.line_bytes as u32,
+                TrafficClass::OnChip,
+                t3,
+            );
+            self.schedule(t4, EventKind::MissReturn { thread });
+            self.after_access(workload, thread, t1, true);
+            return;
+        }
+        let mc = if self.config.optimal {
+            self.mapping.nearest_mc(home).0 as usize
+        } else {
+            self.mc_of_paddr(paddr)
+        };
+        let mc_node = self.mc_node(mc);
+        self.offchip += 1;
+        self.node_mc_requests[home.0 as usize][mc] += 1;
+        let t4 = self.net.send(
+            home,
+            mc_node,
+            self.config.control_bytes,
+            TrafficClass::OffChip,
+            t3,
+        );
+        self.enqueue_mem(
+            paddr,
+            t4,
+            PendingMem {
+                thread,
+                responder: home,
+                final_dst: Some(node),
+                mc,
+                l2_line,
+                writeback: false,
+            },
+        );
+        self.after_access(workload, thread, t1, true);
+    }
+
+    fn enqueue_mem(&mut self, paddr: u64, arrival: u64, ctx: PendingMem) {
+        let token = self.next_token;
+        self.next_token += 1;
+        let mc = ctx.mc;
+        self.pending.insert(token, ctx);
+        let local = self.mc_local_addr(paddr);
+        let done = self.mcs[mc].enqueue(local, token, arrival);
+        self.schedule_completions(&done);
+        self.update_poll(mc);
+    }
+
+    fn schedule_completions(&mut self, done: &[Completion]) {
+        for c in done {
+            self.schedule(c.finish, EventKind::MemDone { token: c.token });
+        }
+    }
+
+    fn update_poll(&mut self, mc: usize) {
+        if let Some(s) = self.mcs[mc].earliest_pending_start() {
+            let due = s.max(1);
+            if self.mc_next_poll[mc].map(|t| due < t).unwrap_or(true) {
+                self.mc_next_poll[mc] = Some(due);
+                self.schedule(due, EventKind::McPoll { mc });
+            }
+        }
+    }
+
+    fn handle_poll(&mut self, mc: usize, now: u64) {
+        if self.mc_next_poll[mc] == Some(now) {
+            self.mc_next_poll[mc] = None;
+        }
+        let done = self.mcs[mc].poll(now);
+        self.schedule_completions(&done);
+        self.update_poll(mc);
+    }
+
+    fn handle_mem_done(&mut self, workload: &TraceWorkload, token: u64, now: u64) {
+        let ctx = self
+            .pending
+            .remove(&token)
+            .expect("completion for unknown token");
+        if ctx.writeback {
+            // The line is in DRAM; nothing waits on it.
+            let _ = now;
+            return;
+        }
+        let mc_node = self.mc_node(ctx.mc);
+        let t1 = self.net.send(
+            mc_node,
+            ctx.responder,
+            self.config.l2.line_bytes as u32,
+            TrafficClass::OffChip,
+            now,
+        );
+        match ctx.final_dst {
+            // Shared L2: the home bank forwards the line to the requester.
+            Some(dst) => {
+                let t2 = self.net.send(
+                    ctx.responder,
+                    dst,
+                    self.config.l2.line_bytes as u32,
+                    TrafficClass::OnChip,
+                    t1,
+                );
+                self.miss_return(workload, ctx.thread, t2);
+            }
+            // Private L2: the requester's L2 now holds the line.
+            None => {
+                self.dir.add_sharer(ctx.l2_line, ctx.responder.0 as usize);
+                self.miss_return(workload, ctx.thread, t1);
+            }
+        }
+    }
+
+    /// The thread consumed one access at `now`. Misses occupy an MSHR; the
+    /// thread proceeds to its next access unless all MSHRs are busy.
+    fn after_access(&mut self, workload: &TraceWorkload, thread: usize, now: u64, miss: bool) {
+        let mlp = self.config.mlp.max(1);
+        {
+            let st = &mut self.threads[thread];
+            st.cursor += 1;
+            st.finish = st.finish.max(now);
+            if miss {
+                st.outstanding += 1;
+            }
+            if st.outstanding >= mlp {
+                st.blocked = true;
+                return;
+            }
+        }
+        self.schedule_next(workload, thread, now);
+    }
+
+    /// An outstanding miss returned at `now`.
+    fn miss_return(&mut self, workload: &TraceWorkload, thread: usize, now: u64) {
+        let unblock = {
+            let st = &mut self.threads[thread];
+            debug_assert!(st.outstanding > 0, "miss return without outstanding miss");
+            st.outstanding -= 1;
+            st.finish = st.finish.max(now);
+            let u = st.blocked;
+            st.blocked = false;
+            u
+        };
+        if unblock {
+            self.schedule_next(workload, thread, now);
+        }
+    }
+
+    /// Schedules the thread's next access (if any) after `now`.
+    fn schedule_next(&mut self, workload: &TraceWorkload, thread: usize, now: u64) {
+        let cursor = self.threads[thread].cursor;
+        if let Some(next) = workload.threads[thread].accesses.get(cursor) {
+            self.schedule(now + next.gap as u64, EventKind::Issue { thread });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Access, ThreadTrace};
+    use hoploc_layout::Granularity;
+    use hoploc_noc::McPlacement;
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            mesh: hoploc_noc::Mesh::new(4, 4),
+            placement: McPlacement::Corners,
+            granularity: Granularity::CacheLine,
+            ..SimConfig::default()
+        }
+    }
+
+    fn mapping(cfg: &SimConfig) -> L2ToMcMapping {
+        L2ToMcMapping::nearest_cluster(cfg.mesh, &cfg.placement)
+    }
+
+    fn seq_trace(node: u16, lines: u64, stride: u64) -> ThreadTrace {
+        ThreadTrace::new(
+            NodeId(node),
+            (0..lines)
+                .map(|k| Access {
+                    vaddr: k * stride,
+                    write: false,
+                    gap: 2,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_thread_completes() {
+        let cfg = small_config();
+        let m = mapping(&cfg);
+        let sim = Simulator::new(cfg, m, PagePolicy::Interleaved);
+        let w = TraceWorkload::single("t", vec![seq_trace(5, 100, 256)]);
+        let stats = sim.run(&w);
+        assert_eq!(stats.total_accesses, 100);
+        assert!(stats.exec_cycles > 0);
+        assert_eq!(stats.app_finish.len(), 1);
+        assert_eq!(stats.app_finish[0], stats.exec_cycles);
+    }
+
+    #[test]
+    fn repeated_line_hits_l1() {
+        let cfg = small_config();
+        let m = mapping(&cfg);
+        let sim = Simulator::new(cfg, m, PagePolicy::Interleaved);
+        let trace = ThreadTrace::new(
+            NodeId(0),
+            (0..50)
+                .map(|_| Access {
+                    vaddr: 128,
+                    write: false,
+                    gap: 1,
+                })
+                .collect(),
+        );
+        let stats = sim.run(&TraceWorkload::single("t", vec![trace]));
+        assert_eq!(stats.l1_hits, 49);
+        assert_eq!(stats.offchip_accesses, 1);
+    }
+
+    #[test]
+    fn streaming_goes_offchip() {
+        let cfg = small_config();
+        let m = mapping(&cfg);
+        let sim = Simulator::new(cfg, m, PagePolicy::Interleaved);
+        // Touch 4096 distinct 256B lines (1 MB): far beyond one L2.
+        let stats = sim.run(&TraceWorkload::single("t", vec![seq_trace(0, 4096, 256)]));
+        assert!(
+            stats.offchip_accesses > 3000,
+            "got {}",
+            stats.offchip_accesses
+        );
+        assert!(stats.memory_latency() > 0.0);
+        assert!(stats.offchip_net_latency() > 0.0);
+    }
+
+    #[test]
+    fn private_l2_forwards_cache_to_cache() {
+        let cfg = small_config();
+        let m = mapping(&cfg);
+        let sim = Simulator::new(cfg, m, PagePolicy::Interleaved);
+        // Thread on node 0 touches lines; thread on node 15 touches the
+        // same lines afterwards (long gaps so node 0 finishes first).
+        let a = seq_trace(0, 64, 256);
+        let b = ThreadTrace::new(
+            NodeId(15),
+            (0..64u64)
+                .map(|k| Access {
+                    vaddr: k * 256,
+                    write: false,
+                    gap: 400,
+                })
+                .collect(),
+        );
+        let stats = sim.run(&TraceWorkload::single("t", vec![a, b]));
+        assert!(
+            stats.cache_to_cache > 0,
+            "directory must forward some lines"
+        );
+    }
+
+    #[test]
+    fn shared_l2_uses_home_banks() {
+        let mut cfg = small_config();
+        cfg.l2_mode = L2Mode::Shared;
+        let m = mapping(&cfg);
+        let sim = Simulator::new(cfg, m, PagePolicy::Interleaved);
+        let stats = sim.run(&TraceWorkload::single("t", vec![seq_trace(3, 512, 256)]));
+        assert_eq!(stats.total_accesses, 512);
+        // Home-bank requests generate on-chip traffic even for L2 misses.
+        assert!(stats.net.on_chip.messages > 0);
+        assert!(stats.offchip_accesses > 0);
+    }
+
+    #[test]
+    fn optimal_mode_uses_nearest_mc_only() {
+        let mut cfg = small_config();
+        cfg.optimal = true;
+        let m = mapping(&cfg);
+        let nearest = m.nearest_mc(NodeId(0)).0 as usize;
+        let sim = Simulator::new(cfg, m, PagePolicy::Interleaved);
+        let stats = sim.run(&TraceWorkload::single("t", vec![seq_trace(0, 1024, 256)]));
+        for (mc, &count) in stats.node_mc_requests[0].iter().enumerate() {
+            if mc != nearest {
+                assert_eq!(count, 0, "optimal mode must only use the nearest MC");
+            }
+        }
+        assert!(stats.node_mc_requests[0][nearest] > 0);
+    }
+
+    #[test]
+    fn optimal_is_faster_than_default() {
+        let cfg = small_config();
+        let m = mapping(&cfg);
+        let base = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved)
+            .run(&TraceWorkload::single("t", vec![seq_trace(0, 2048, 256)]));
+        let mut ocfg = cfg;
+        ocfg.optimal = true;
+        let opt = Simulator::new(ocfg, m, PagePolicy::Interleaved)
+            .run(&TraceWorkload::single("t", vec![seq_trace(0, 2048, 256)]));
+        assert!(
+            opt.exec_cycles < base.exec_cycles,
+            "optimal {} !< base {}",
+            opt.exec_cycles,
+            base.exec_cycles
+        );
+    }
+
+    #[test]
+    fn multiprogram_reports_per_app_finish() {
+        let cfg = small_config();
+        let m = mapping(&cfg);
+        let sim = Simulator::new(cfg, m, PagePolicy::Interleaved);
+        let a = TraceWorkload::single("a", vec![seq_trace(0, 100, 256)]);
+        let b = TraceWorkload::single("b", vec![seq_trace(5, 400, 256)]);
+        let w = TraceWorkload::multiprogram("a+b", vec![a, b]);
+        let stats = sim.run(&w);
+        assert_eq!(stats.app_finish.len(), 2);
+        assert!(stats.app_finish[1] >= stats.app_finish[0]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = small_config();
+        let m = mapping(&cfg);
+        let w = TraceWorkload::single("t", vec![seq_trace(0, 500, 256), seq_trace(7, 500, 256)]);
+        let s1 = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved).run(&w);
+        let s2 = Simulator::new(cfg, m, PagePolicy::Interleaved).run(&w);
+        assert_eq!(s1.exec_cycles, s2.exec_cycles);
+        assert_eq!(s1.offchip_accesses, s2.offchip_accesses);
+    }
+}

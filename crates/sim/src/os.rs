@@ -1,0 +1,227 @@
+//! The OS page-allocation layer (§5.3, *Page Interleaving*; §6.3).
+//!
+//! Under page interleaving the MC-selection bits sit above the page offset,
+//! so the OS decides each page's controller at allocation time. Physical
+//! frames are organized in per-MC pools; `pfn % N'` identifies the frame's
+//! controller. Three policies are modelled:
+//!
+//! * [`PagePolicy::Interleaved`] — the hardware/OS default: pages rotate
+//!   across controllers in allocation order;
+//! * [`PagePolicy::Desired`] — the paper's modified policy: each virtual
+//!   page is placed on the controller the compiler requested, falling back
+//!   to an alternate controller when that pool is exhausted ("our approach
+//!   does not increase the number of page faults");
+//! * [`PagePolicy::FirstTouch`] — the §6.3 baseline: a page is allocated
+//!   from MC *x* if its first access comes from a node in cluster *x*.
+
+use hoploc_noc::{L2ToMcMapping, McId, NodeId};
+use std::collections::HashMap;
+
+/// Page-placement policy.
+#[derive(Clone, Debug)]
+pub enum PagePolicy {
+    /// Round-robin page interleaving across controllers.
+    Interleaved,
+    /// Compiler-desired placement: virtual page number → controller.
+    /// Pages absent from the map fall back to interleaving.
+    Desired(HashMap<u64, McId>),
+    /// First-touch: the first toucher's cluster controller owns the page
+    /// (round-robin among the cluster's controllers when it has several).
+    FirstTouch,
+}
+
+/// The page table plus physical frame allocator.
+#[derive(Clone, Debug)]
+pub struct Os {
+    page_bytes: u64,
+    num_mcs: usize,
+    frames_per_mc: u64,
+    policy: PagePolicy,
+    page_table: HashMap<u64, u64>,
+    next_frame: Vec<u64>,
+    next_rr_mc: usize,
+    first_touch_rr: Vec<usize>,
+    /// Pages that could not be placed on their preferred controller.
+    pub fallback_allocations: u64,
+}
+
+impl Os {
+    /// Creates the OS layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are zero.
+    pub fn new(page_bytes: u64, memory_bytes: u64, num_mcs: usize, policy: PagePolicy) -> Self {
+        assert!(page_bytes > 0 && memory_bytes >= page_bytes && num_mcs > 0);
+        Self {
+            page_bytes,
+            num_mcs,
+            frames_per_mc: memory_bytes / page_bytes / num_mcs as u64,
+            policy,
+            page_table: HashMap::new(),
+            next_frame: vec![0; num_mcs],
+            next_rr_mc: 0,
+            first_touch_rr: vec![0; num_mcs],
+            fallback_allocations: 0,
+        }
+    }
+
+    /// Translates a virtual address, allocating the page on first touch.
+    /// `toucher` is the requesting node (used by first-touch placement).
+    pub fn translate(&mut self, vaddr: u64, toucher: NodeId, mapping: &L2ToMcMapping) -> u64 {
+        let vpn = vaddr / self.page_bytes;
+        let offset = vaddr % self.page_bytes;
+        let pfn = match self.page_table.get(&vpn) {
+            Some(&pfn) => pfn,
+            None => {
+                let pfn = self.allocate(vpn, toucher, mapping);
+                self.page_table.insert(vpn, pfn);
+                pfn
+            }
+        };
+        pfn * self.page_bytes + offset
+    }
+
+    /// The controller owning a physical address under page interleaving.
+    pub fn mc_of_paddr(&self, paddr: u64) -> McId {
+        McId(((paddr / self.page_bytes) % self.num_mcs as u64) as u16)
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.page_table.len()
+    }
+
+    fn allocate(&mut self, vpn: u64, toucher: NodeId, mapping: &L2ToMcMapping) -> u64 {
+        let preferred = match &self.policy {
+            PagePolicy::Interleaved => {
+                let mc = self.next_rr_mc;
+                self.next_rr_mc = (self.next_rr_mc + 1) % self.num_mcs;
+                McId(mc as u16)
+            }
+            PagePolicy::Desired(map) => match map.get(&vpn) {
+                Some(&mc) => mc,
+                None => {
+                    let mc = self.next_rr_mc;
+                    self.next_rr_mc = (self.next_rr_mc + 1) % self.num_mcs;
+                    McId(mc as u16)
+                }
+            },
+            PagePolicy::FirstTouch => {
+                let cluster = mapping.cluster_of(toucher);
+                let mcs = mapping.cluster_mcs(cluster);
+                let r = &mut self.first_touch_rr[cluster.0 as usize % self.num_mcs];
+                let mc = mcs[*r % mcs.len()];
+                *r += 1;
+                mc
+            }
+        };
+        // Try the preferred pool, then the others ("if the memory space
+        // attached to the specified MC is full, an alternate MC is
+        // selected").
+        for round in 0..self.num_mcs {
+            let mc = (preferred.0 as usize + round) % self.num_mcs;
+            if self.next_frame[mc] < self.frames_per_mc {
+                let idx = self.next_frame[mc];
+                self.next_frame[mc] += 1;
+                if round > 0 {
+                    self.fallback_allocations += 1;
+                }
+                // Frame pools are striped: pfn % N' == mc.
+                return idx * self.num_mcs as u64 + mc as u64;
+            }
+        }
+        panic!(
+            "physical memory exhausted: {} pages resident",
+            self.page_table.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoploc_noc::{McPlacement, Mesh};
+
+    fn mapping() -> L2ToMcMapping {
+        L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &McPlacement::Corners)
+    }
+
+    #[test]
+    fn translation_is_stable() {
+        let mut os = Os::new(4096, 1 << 20, 4, PagePolicy::Interleaved);
+        let m = mapping();
+        let a = os.translate(0x1234, NodeId(0), &m);
+        let b = os.translate(0x1234, NodeId(9), &m);
+        assert_eq!(a, b, "repeated translation must be identical");
+        assert_eq!(a % 4096, 0x234);
+    }
+
+    #[test]
+    fn interleaved_rotates_mcs() {
+        let mut os = Os::new(4096, 1 << 20, 4, PagePolicy::Interleaved);
+        let m = mapping();
+        let mcs: Vec<u16> = (0..4u64)
+            .map(|p| {
+                let paddr = os.translate(p * 4096, NodeId(0), &m);
+                os.mc_of_paddr(paddr).0
+            })
+            .collect();
+        let mut sorted = mcs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn desired_policy_honors_map() {
+        let mut map = HashMap::new();
+        map.insert(0u64, McId(3));
+        map.insert(1u64, McId(1));
+        let mut os = Os::new(4096, 1 << 20, 4, PagePolicy::Desired(map));
+        let m = mapping();
+        let p0 = os.translate(0, NodeId(0), &m);
+        assert_eq!(os.mc_of_paddr(p0), McId(3));
+        let p1 = os.translate(4096, NodeId(0), &m);
+        assert_eq!(os.mc_of_paddr(p1), McId(1));
+        assert_eq!(os.fallback_allocations, 0);
+    }
+
+    #[test]
+    fn desired_policy_falls_back_when_full() {
+        // 4 frames total → 1 frame per MC.
+        let mut map = HashMap::new();
+        for vpn in 0..3u64 {
+            map.insert(vpn, McId(0));
+        }
+        let mut os = Os::new(4096, 4 * 4096, 4, PagePolicy::Desired(map));
+        let m = mapping();
+        os.translate(0, NodeId(0), &m);
+        os.translate(4096, NodeId(0), &m);
+        os.translate(2 * 4096, NodeId(0), &m);
+        assert_eq!(os.fallback_allocations, 2, "MC0 pool holds one frame only");
+        assert_eq!(os.resident_pages(), 3);
+    }
+
+    #[test]
+    fn first_touch_uses_toucher_cluster() {
+        let mut os = Os::new(4096, 1 << 20, 4, PagePolicy::FirstTouch);
+        let m = mapping();
+        // Node 0 is in the top-left cluster, whose MC is MC0 (node 0).
+        let p0 = os.translate(0, NodeId(0), &m);
+        let mc = os.mc_of_paddr(p0);
+        assert_eq!(mc, m.cluster_mcs(m.cluster_of(NodeId(0)))[0]);
+        // Node 63 (bottom-right) gets its own corner's controller.
+        let p8 = os.translate(8 * 4096, NodeId(63), &m);
+        let mc2 = os.mc_of_paddr(p8);
+        assert_eq!(mc2, m.cluster_mcs(m.cluster_of(NodeId(63)))[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "physical memory exhausted")]
+    fn oom_panics() {
+        let mut os = Os::new(4096, 4096, 1, PagePolicy::Interleaved);
+        let m = mapping();
+        os.translate(0, NodeId(0), &m);
+        os.translate(4096, NodeId(0), &m);
+    }
+}

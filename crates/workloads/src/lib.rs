@@ -1,0 +1,23 @@
+//! # hoploc-workloads
+//!
+//! The evaluation workloads of the PLDI'15 reproduction: all 13 SPEC
+//! OMP2001 / Mantevo applications modelled as parameterized affine
+//! programs ([`all_apps`]), trace generation that replays them under any
+//! program layout ([`generate_traces`]), and the end-to-end experiment
+//! runner shared by every figure harness ([`run_app`], [`run_mix`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod apps;
+mod gen;
+mod suite;
+
+pub use apps::{
+    all_apps, ammp, applu, apsi, art, fma3d, gafort, galgel, hpccg, mgrid, minighost, minimd,
+    mixes, swim, wupwise, App, Scale,
+};
+pub use gen::{generate_traces, TraceGen};
+pub use suite::{
+    build_workload, layout_for, run_app, run_app_threads, run_mix, weighted_speedup, RunKind,
+};

@@ -1,0 +1,215 @@
+//! End-to-end experiment runner: compile (or not), generate traces,
+//! simulate, and report — the shared machinery behind every figure.
+
+use crate::apps::App;
+use crate::gen::{generate_traces, TraceGen};
+use hoploc_layout::{baseline_layout, optimize_program, PassConfig, ProgramLayout, SharedPolicy};
+use hoploc_noc::L2ToMcMapping;
+use hoploc_sim::{AddressSpace, PagePolicy, RunStats, SimConfig, Simulator, TraceWorkload};
+
+/// Which side of a comparison a run represents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunKind {
+    /// Original layouts, default OS placement.
+    Baseline,
+    /// Compiler-optimized layouts (plus the OS assist under page
+    /// interleaving).
+    Optimized,
+    /// Original layouts under the OS first-touch page policy (§6.3).
+    FirstTouch,
+    /// The §2 optimal scheme: baseline layouts, nearest-MC redirection,
+    /// ideal memory service.
+    Optimal,
+}
+
+/// Builds the program layout an experiment side uses.
+pub fn layout_for(
+    app: &App,
+    mapping: &L2ToMcMapping,
+    sim: &SimConfig,
+    kind: RunKind,
+) -> ProgramLayout {
+    match kind {
+        RunKind::Optimized => {
+            let cfg = PassConfig {
+                granularity: sim.granularity,
+                l2_mode: sim.l2_mode,
+                shared_policy: SharedPolicy::OnChipFirst,
+                line_bytes: sim.l2.line_bytes as u32,
+                page_bytes: sim.page_bytes as u32,
+                ..PassConfig::default()
+            };
+            optimize_program(&app.program, mapping, cfg)
+        }
+        RunKind::Baseline | RunKind::FirstTouch | RunKind::Optimal => {
+            baseline_layout(&app.program, mapping.mesh().num_nodes())
+        }
+    }
+}
+
+/// The OS page policy an experiment side uses.
+fn policy_for(
+    app: &App,
+    layout: &ProgramLayout,
+    space: &AddressSpace,
+    sim: &SimConfig,
+    kind: RunKind,
+) -> PagePolicy {
+    match kind {
+        RunKind::Optimized => {
+            let desired = space.desired_page_mcs(&app.program, layout, sim.page_bytes);
+            if desired.is_empty() {
+                PagePolicy::Interleaved
+            } else {
+                PagePolicy::Desired(desired)
+            }
+        }
+        RunKind::FirstTouch => PagePolicy::FirstTouch,
+        RunKind::Baseline | RunKind::Optimal => PagePolicy::Interleaved,
+    }
+}
+
+/// Generates the trace workload for one side of an experiment.
+pub fn build_workload(
+    app: &App,
+    mapping: &L2ToMcMapping,
+    sim: &SimConfig,
+    kind: RunKind,
+    threads_per_core: usize,
+) -> (TraceWorkload, PagePolicy) {
+    let layout = layout_for(app, mapping, sim, kind);
+    let space = AddressSpace::build(&app.program, &layout, 0);
+    let policy = policy_for(app, &layout, &space, sim, kind);
+    let gen = TraceGen {
+        threads_per_core,
+        ..app.gen
+    };
+    (generate_traces(&app.program, &layout, &space, &gen), policy)
+}
+
+/// Runs one application end to end.
+pub fn run_app(app: &App, mapping: &L2ToMcMapping, sim: &SimConfig, kind: RunKind) -> RunStats {
+    run_app_threads(app, mapping, sim, kind, 1)
+}
+
+/// Runs one application with a given thread-per-core count (Figure 24).
+pub fn run_app_threads(
+    app: &App,
+    mapping: &L2ToMcMapping,
+    sim: &SimConfig,
+    kind: RunKind,
+    threads_per_core: usize,
+) -> RunStats {
+    let mut cfg = sim.clone();
+    cfg.optimal = kind == RunKind::Optimal;
+    cfg.mlp = app.mlp;
+    let (workload, policy) = build_workload(app, mapping, &cfg, kind, threads_per_core);
+    Simulator::new(cfg.clone(), mapping.clone(), policy).run(&workload)
+}
+
+/// Runs a multiprogrammed mix: every application runs with one thread per
+/// core on all cores (co-scheduled), with disjoint virtual address spaces.
+/// Returns the combined run statistics (per-app finishes inside).
+pub fn run_mix(apps: &[App], mapping: &L2ToMcMapping, sim: &SimConfig, kind: RunKind) -> RunStats {
+    let mut cfg = sim.clone();
+    cfg.optimal = kind == RunKind::Optimal;
+    cfg.mlp = apps.iter().map(|a| a.mlp).max().unwrap_or(1);
+    let mut merged_desired = std::collections::HashMap::new();
+    let mut workloads = Vec::new();
+    for (i, app) in apps.iter().enumerate() {
+        let layout = layout_for(app, mapping, &cfg, kind);
+        // 4 GiB of virtual space per application keeps them disjoint.
+        let origin = (i as u64) << 32;
+        let space = AddressSpace::build(&app.program, &layout, origin);
+        if kind == RunKind::Optimized {
+            merged_desired.extend(space.desired_page_mcs(&app.program, &layout, cfg.page_bytes));
+        }
+        workloads.push(generate_traces(&app.program, &layout, &space, &app.gen));
+    }
+    let policy = match kind {
+        RunKind::Optimized if !merged_desired.is_empty() => PagePolicy::Desired(merged_desired),
+        RunKind::FirstTouch => PagePolicy::FirstTouch,
+        _ => PagePolicy::Interleaved,
+    };
+    let name = apps.iter().map(|a| a.name()).collect::<Vec<_>>().join("+");
+    let mix = TraceWorkload::multiprogram(name, workloads);
+    Simulator::new(cfg, mapping.clone(), policy).run(&mix)
+}
+
+/// Weighted speedup of an optimized mix over its baseline (Figure 25's
+/// metric): `Σᵢ T_baseline(i) / T_optimized(i)` normalized by app count, so
+/// 1.0 means no change.
+pub fn weighted_speedup(baseline: &RunStats, optimized: &RunStats) -> f64 {
+    assert_eq!(baseline.app_finish.len(), optimized.app_finish.len());
+    let n = baseline.app_finish.len().max(1);
+    baseline
+        .app_finish
+        .iter()
+        .zip(&optimized.app_finish)
+        .map(|(&b, &o)| if o == 0 { 1.0 } else { b as f64 / o as f64 })
+        .sum::<f64>()
+        / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{swim, wupwise, Scale};
+    use hoploc_noc::{McPlacement, Mesh};
+
+    fn setup() -> (SimConfig, L2ToMcMapping) {
+        let sim = SimConfig::default();
+        let mapping = L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement);
+        (sim, mapping)
+    }
+
+    #[test]
+    fn baseline_and_optimized_run() {
+        let (sim, mapping) = setup();
+        let app = swim(Scale::Test);
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        assert!(base.total_accesses > 0);
+        assert_eq!(base.total_accesses, opt.total_accesses, "same dynamic work");
+    }
+
+    #[test]
+    fn optimized_localizes_offchip_traffic_swim() {
+        let (sim, mapping) = setup();
+        let app = swim(Scale::Test);
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        // The optimization's core claim: fewer hops per off-chip message.
+        assert!(
+            opt.net.off_chip.avg_hops() < base.net.off_chip.avg_hops(),
+            "optimized {} !< baseline {}",
+            opt.net.off_chip.avg_hops(),
+            base.net.off_chip.avg_hops()
+        );
+    }
+
+    #[test]
+    fn optimal_beats_baseline() {
+        let (sim, mapping) = setup();
+        let app = wupwise(Scale::Test);
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let optimal = run_app(&app, &mapping, &sim, RunKind::Optimal);
+        assert!(optimal.exec_cycles < base.exec_cycles);
+    }
+
+    #[test]
+    fn mix_runs_and_reports_speedup() {
+        let (sim, _) = setup();
+        let mesh = Mesh::new(8, 8);
+        let mapping = L2ToMcMapping::nearest_cluster(mesh, &McPlacement::Corners);
+        let apps = vec![wupwise(Scale::Test), swim(Scale::Test)];
+        let base = run_mix(&apps, &mapping, &sim, RunKind::Baseline);
+        let opt = run_mix(&apps, &mapping, &sim, RunKind::Optimized);
+        assert_eq!(base.app_finish.len(), 2);
+        let ws = weighted_speedup(&base, &opt);
+        assert!(
+            ws > 0.5 && ws < 3.0,
+            "weighted speedup {ws} out of sane range"
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! `hoploc` — command-line driver for the PLDI'15 reproduction.
+//!
+//! ```text
+//! hoploc apps                      list the modelled applications
+//! hoploc compile <app>             run the layout pass, print coverage + code
+//! hoploc run <app> [options]       simulate baseline vs optimized
+//! hoploc sweep [options]           run the whole suite, one row per app
+//!
+//! options:
+//!   --page | --cacheline           interleaving granularity (default cacheline)
+//!   --shared                       shared SNUCA L2 instead of private L2s
+//!   --m2                           use the M2 (halves, k=2) mapping
+//!   --first-touch                  compare against first-touch instead of baseline
+//!   --optimal                      run the Section-2 optimal scheme instead
+//!   --threads <n>                  threads per core (default 1)
+//!   --scale <test|bench>           problem size (default bench)
+//! ```
+
+use hoploc::affine::parallelization_is_legal;
+use hoploc::layout::{codegen, determine_data_to_core, Granularity, L2Mode};
+use hoploc::noc::{L2ToMcMapping, McPlacement};
+use hoploc::sim::{Improvement, SimConfig};
+use hoploc::workloads::{all_apps, layout_for, run_app_threads, App, RunKind, Scale};
+use std::process::ExitCode;
+
+struct Options {
+    granularity: Granularity,
+    l2_mode: L2Mode,
+    m2: bool,
+    first_touch: bool,
+    optimal: bool,
+    threads: usize,
+    scale: Scale,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            granularity: Granularity::CacheLine,
+            l2_mode: L2Mode::Private,
+            m2: false,
+            first_touch: false,
+            optimal: false,
+            threads: 1,
+            scale: Scale::Bench,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--page" => o.granularity = Granularity::Page,
+                "--cacheline" => o.granularity = Granularity::CacheLine,
+                "--shared" => o.l2_mode = L2Mode::Shared,
+                "--m2" => o.m2 = true,
+                "--first-touch" => o.first_touch = true,
+                "--optimal" => o.optimal = true,
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    o.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                }
+                "--scale" => match it.next().map(String::as_str) {
+                    Some("test") => o.scale = Scale::Test,
+                    Some("bench") => o.scale = Scale::Bench,
+                    other => return Err(format!("bad scale {other:?}")),
+                },
+                other => return Err(format!("unknown option {other}")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn sim(&self) -> SimConfig {
+        SimConfig {
+            granularity: self.granularity,
+            l2_mode: self.l2_mode,
+            ..SimConfig::scaled()
+        }
+    }
+
+    fn mapping(&self, sim: &SimConfig) -> L2ToMcMapping {
+        if self.m2 {
+            L2ToMcMapping::halves(sim.mesh, &McPlacement::Corners)
+        } else {
+            L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement)
+        }
+    }
+
+    fn baseline_kind(&self) -> RunKind {
+        if self.first_touch {
+            RunKind::FirstTouch
+        } else {
+            RunKind::Baseline
+        }
+    }
+
+    fn optimized_kind(&self) -> RunKind {
+        if self.optimal {
+            RunKind::Optimal
+        } else {
+            RunKind::Optimized
+        }
+    }
+}
+
+fn find_app(name: &str, scale: Scale) -> Option<App> {
+    all_apps(scale).into_iter().find(|a| a.name() == name)
+}
+
+fn cmd_apps(scale: Scale) {
+    println!(
+        "{:<11} {:>7} {:>6} {:>8} {:>11} {:>4}",
+        "app", "arrays", "nests", "accesses", "ft-friendly", "mlp"
+    );
+    for app in all_apps(scale) {
+        println!(
+            "{:<11} {:>7} {:>6} {:>8} {:>11} {:>4}",
+            app.name(),
+            app.program.arrays().len(),
+            app.program.nests().len(),
+            app.program.iteration_estimate(),
+            if app.first_touch_friendly {
+                "yes"
+            } else {
+                "no"
+            },
+            app.mlp,
+        );
+    }
+}
+
+fn cmd_compile(app: &App, o: &Options) {
+    let sim = o.sim();
+    let mapping = o.mapping(&sim);
+    let layout = layout_for(app, &mapping, &sim, RunKind::Optimized);
+    println!("== {} : layout pass report ==", app.name());
+    for r in layout.reports() {
+        match (&r.reason, r.optimized) {
+            (_, true) => println!(
+                "  {:<10} optimized   ({}/{} references satisfied)",
+                r.name, r.satisfied_refs, r.total_refs
+            ),
+            (Some(e), false) => println!("  {:<10} skipped     ({e})", r.name),
+            (None, false) => println!("  {:<10} skipped", r.name),
+        }
+    }
+    println!(
+        "arrays optimized: {:.0}%, references satisfied: {:.0}%",
+        layout.arrays_optimized() * 100.0,
+        layout.refs_satisfied() * 100.0
+    );
+    let clean = app
+        .program
+        .nests()
+        .iter()
+        .filter(|n| parallelization_is_legal(n))
+        .count();
+    println!(
+        "dependence analysis: {clean}/{} nests provably parallel-safe \
+         (the rest rely on halo synchronization outside the model)",
+        app.program.nests().len()
+    );
+    // Render the hottest nest before/after, Figure-9 style.
+    if let Some(nest) = app
+        .program
+        .nests()
+        .iter()
+        .max_by_key(|n| n.iteration_estimate())
+    {
+        let d2cs: Vec<_> = (0..app.program.arrays().len())
+            .map(|i| determine_data_to_core(&app.program, hoploc::affine::ArrayId(i)).ok())
+            .collect();
+        println!("\n-- hottest nest, original --");
+        print!("{}", codegen::render_original(&app.program, nest));
+        println!("-- after Data-to-Core mapping --");
+        print!(
+            "{}",
+            codegen::render_data_to_core(&app.program, nest, &d2cs)
+        );
+        println!("-- after layout customization --");
+        print!(
+            "{}",
+            codegen::render_customized(&app.program, nest, &d2cs, layout.layouts())
+        );
+    }
+}
+
+fn cmd_run(app: &App, o: &Options) {
+    let sim = o.sim();
+    let mapping = o.mapping(&sim);
+    let base = run_app_threads(app, &mapping, &sim, o.baseline_kind(), o.threads);
+    let opt = run_app_threads(app, &mapping, &sim, o.optimized_kind(), o.threads);
+    let imp = Improvement::between(&base, &opt);
+    println!("== {} ==", app.name());
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "",
+        format!("{:?}", o.baseline_kind()).to_lowercase(),
+        format!("{:?}", o.optimized_kind()).to_lowercase()
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "exec cycles", base.exec_cycles, opt.exec_cycles
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "off-chip accesses", base.offchip_accesses, opt.offchip_accesses
+    );
+    println!(
+        "{:<22} {:>14.2} {:>14.2}",
+        "avg off-chip hops",
+        base.net.off_chip.avg_hops(),
+        opt.net.off_chip.avg_hops()
+    );
+    println!(
+        "{:<22} {:>14.1} {:>14.1}",
+        "memory latency (cy)",
+        base.memory_latency(),
+        opt.memory_latency()
+    );
+    println!(
+        "\nreductions: on-net {:.1}%, off-net {:.1}%, memory {:.1}%, exec {:.1}%",
+        imp.onchip_net * 100.0,
+        imp.offchip_net * 100.0,
+        imp.memory * 100.0,
+        imp.exec_time * 100.0
+    );
+}
+
+fn cmd_links(app: &App, o: &Options) {
+    let sim = o.sim();
+    let mapping = o.mapping(&sim);
+    let stats = run_app_threads(app, &mapping, &sim, o.optimized_kind(), o.threads);
+    let width = sim.mesh.width() as usize;
+    let util = &stats.link_utilization;
+    println!(
+        "== {} : per-node max outgoing-link utilization ==",
+        app.name()
+    );
+    for y in 0..sim.mesh.height() as usize {
+        for x in 0..width {
+            let n = y * width + x;
+            let m = (0..4).map(|d| util[n * 4 + d]).fold(0.0f64, f64::max);
+            print!("{:>6.2}", m);
+        }
+        println!();
+    }
+    let (node, dir, u) = stats.hottest_link();
+    let dirs = ["E", "W", "N", "S"];
+    println!(
+        "hottest link: node {node} -> {} at {:.1}% utilization",
+        dirs[dir],
+        u * 100.0
+    );
+}
+
+fn cmd_sweep(o: &Options) {
+    let sim = o.sim();
+    let mapping = o.mapping(&sim);
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9}",
+        "app", "on-net", "off-net", "memory", "exec"
+    );
+    for app in all_apps(o.scale) {
+        let base = run_app_threads(&app, &mapping, &sim, o.baseline_kind(), o.threads);
+        let opt = run_app_threads(&app, &mapping, &sim, o.optimized_kind(), o.threads);
+        let imp = Improvement::between(&base, &opt);
+        println!(
+            "{:<11} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            app.name(),
+            imp.onchip_net * 100.0,
+            imp.offchip_net * 100.0,
+            imp.memory * 100.0,
+            imp.exec_time * 100.0
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!("usage: hoploc <apps|compile <app>|run <app>|links <app>|sweep> [options]");
+        eprintln!("see the module docs (or README.md) for the option list");
+        ExitCode::FAILURE
+    };
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+    let rest_start = match cmd.as_str() {
+        "compile" | "run" | "links" => 2,
+        _ => 1,
+    };
+    let opts = match Options::parse(&args[rest_start.min(args.len())..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "apps" => cmd_apps(opts.scale),
+        "compile" | "run" | "links" => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let Some(app) = find_app(name, opts.scale) else {
+                eprintln!("unknown application {name}; try `hoploc apps`");
+                return ExitCode::FAILURE;
+            };
+            match cmd.as_str() {
+                "compile" => cmd_compile(&app, &opts),
+                "links" => cmd_links(&app, &opts),
+                _ => cmd_run(&app, &opts),
+            }
+        }
+        "sweep" => cmd_sweep(&opts),
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

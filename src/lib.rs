@@ -1,0 +1,33 @@
+//! # hoploc
+//!
+//! An end-to-end reproduction of *Optimizing Off-Chip Accesses in
+//! Multicores* (Ding, Tang, Kandemir, Zhang, Kultursay — PLDI 2015): a
+//! compiler-guided data-layout transformation that localizes off-chip
+//! (main-memory) accesses in NoC-based manycores, together with the full
+//! simulation substrate needed to evaluate it.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`affine`] — integer linear algebra and the affine loop-nest IR;
+//! * [`layout`] — the localization pass itself (the paper's contribution);
+//! * [`noc`] — a 2-D mesh network-on-chip model with XY routing and
+//!   link contention;
+//! * [`mem`] — memory controllers with FR-FCFS scheduling over DRAM banks;
+//! * [`cache`] — private and shared (SNUCA) L2 models with a directory;
+//! * [`sim`] — the full-system simulator (cores, OS page allocation,
+//!   translation, statistics);
+//! * [`workloads`] — the paper's 13 SPEC-OMP/Mantevo applications modelled
+//!   as parameterized affine programs.
+//!
+//! See `examples/quickstart.rs` for the fastest way to run an optimized
+//! vs. baseline comparison.
+
+#![forbid(unsafe_code)]
+
+pub use hoploc_affine as affine;
+pub use hoploc_cache as cache;
+pub use hoploc_layout as layout;
+pub use hoploc_mem as mem;
+pub use hoploc_noc as noc;
+pub use hoploc_sim as sim;
+pub use hoploc_workloads as workloads;

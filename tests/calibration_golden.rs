@@ -1,0 +1,148 @@
+//! Golden calibration tests: bench-scale regression guards for the
+//! reproduced figures. Expensive (each runs a slice of the full sweep),
+//! so they are `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release --test calibration_golden -- --ignored
+//! ```
+//!
+//! Tolerances are deliberately wide — these catch calibration *breakage*
+//! (a sign flip, a collapsed mechanism), not noise.
+
+use hoploc::layout::Granularity;
+use hoploc::noc::L2ToMcMapping;
+use hoploc::sim::{Improvement, SimConfig};
+use hoploc::workloads::{all_apps, run_app, RunKind, Scale};
+
+fn setup(granularity: Granularity) -> (SimConfig, L2ToMcMapping) {
+    let sim = SimConfig {
+        granularity,
+        ..SimConfig::scaled()
+    };
+    let mapping = L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement);
+    (sim, mapping)
+}
+
+fn suite_average(granularity: Granularity) -> Improvement {
+    let (sim, mapping) = setup(granularity);
+    let apps = all_apps(Scale::Bench);
+    let mut acc = Improvement::default();
+    for app in &apps {
+        let base = run_app(app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(app, &mapping, &sim, RunKind::Optimized);
+        let i = Improvement::between(&base, &opt);
+        acc.onchip_net += i.onchip_net;
+        acc.offchip_net += i.offchip_net;
+        acc.memory += i.memory;
+        acc.exec_time += i.exec_time;
+    }
+    let n = apps.len() as f64;
+    Improvement {
+        onchip_net: acc.onchip_net / n,
+        offchip_net: acc.offchip_net / n,
+        memory: acc.memory / n,
+        exec_time: acc.exec_time / n,
+    }
+}
+
+#[test]
+#[ignore = "bench-scale: run with -- --ignored"]
+fn golden_fig16_headline() {
+    // Paper: 20.5% exec, 66.4% off-chip net. Calibrated: 21.7% / 63.3%.
+    let avg = suite_average(Granularity::CacheLine);
+    assert!(
+        (0.12..0.32).contains(&avg.exec_time),
+        "fig16 exec average drifted: {:.3}",
+        avg.exec_time
+    );
+    assert!(
+        avg.offchip_net > 0.40,
+        "fig16 off-chip net average collapsed: {:.3}",
+        avg.offchip_net
+    );
+}
+
+#[test]
+#[ignore = "bench-scale: run with -- --ignored"]
+fn golden_fig14_page() {
+    // Paper: 17.1% exec. Calibrated: 20.4%.
+    let avg = suite_average(Granularity::Page);
+    assert!(
+        (0.10..0.32).contains(&avg.exec_time),
+        "fig14 exec average drifted: {:.3}",
+        avg.exec_time
+    );
+}
+
+#[test]
+#[ignore = "bench-scale: run with -- --ignored"]
+fn golden_fig18_pressure_apps_top_two() {
+    let (sim, mapping) = setup(Granularity::CacheLine);
+    let mut occ: Vec<(String, f64)> = all_apps(Scale::Bench)
+        .into_iter()
+        .map(|app| {
+            let s = run_app(&app, &mapping, &sim, RunKind::Optimized);
+            (app.name().to_string(), s.bank_queue_occupancy())
+        })
+        .collect();
+    occ.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top2: Vec<&str> = occ.iter().take(2).map(|(n, _)| n.as_str()).collect();
+    assert!(
+        top2.contains(&"fma3d") && top2.contains(&"minighost"),
+        "fig18 top two drifted: {occ:?}"
+    );
+}
+
+#[test]
+#[ignore = "bench-scale: run with -- --ignored"]
+fn golden_fig23_first_touch() {
+    // Paper: 12.3% average over first-touch; ≈0 for the friendly trio.
+    let (sim, mapping) = setup(Granularity::Page);
+    let apps = all_apps(Scale::Bench);
+    let mut sum = 0.0;
+    for app in &apps {
+        let ft = run_app(app, &mapping, &sim, RunKind::FirstTouch);
+        let opt = run_app(app, &mapping, &sim, RunKind::Optimized);
+        let gain = (ft.exec_cycles as f64 - opt.exec_cycles as f64) / ft.exec_cycles as f64;
+        if app.first_touch_friendly {
+            assert!(
+                gain.abs() < 0.10,
+                "{} is first-touch friendly but gained {gain:.3}",
+                app.name()
+            );
+        }
+        sum += gain;
+    }
+    let avg = sum / apps.len() as f64;
+    assert!(
+        (0.05..0.25).contains(&avg),
+        "fig23 average drifted: {avg:.3}"
+    );
+}
+
+#[test]
+#[ignore = "bench-scale: run with -- --ignored"]
+fn golden_fig15_offchip_cdf_shift() {
+    // Off-chip requests within 4 links must improve substantially
+    // (paper 22%→31%; calibrated 23%→74%).
+    let (sim, mapping) = setup(Granularity::CacheLine);
+    let mut base4 = 0.0;
+    let mut opt4 = 0.0;
+    let mut n = 0.0;
+    for app in all_apps(Scale::Bench) {
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        if base.net.off_chip.messages > 1000 {
+            base4 += base.net.off_chip.cdf()[4];
+            opt4 += opt.net.off_chip.cdf()[4];
+            n += 1.0;
+        }
+    }
+    assert!(n >= 8.0);
+    assert!(
+        opt4 / n > base4 / n + 0.15,
+        "fig15 CDF shift collapsed: {:.2} -> {:.2}",
+        base4 / n,
+        opt4 / n
+    );
+}

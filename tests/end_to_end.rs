@@ -1,0 +1,125 @@
+//! End-to-end integration tests: the full compile → place → trace →
+//! simulate pipeline over the 13-application suite (test scale).
+
+use hoploc::layout::Granularity;
+use hoploc::noc::L2ToMcMapping;
+use hoploc::sim::SimConfig;
+use hoploc::workloads::{all_apps, run_app, RunKind, Scale};
+
+fn setup() -> (SimConfig, L2ToMcMapping) {
+    let sim = SimConfig {
+        granularity: Granularity::CacheLine,
+        ..SimConfig::scaled()
+    };
+    let mapping = L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement);
+    (sim, mapping)
+}
+
+#[test]
+fn every_app_runs_both_sides_with_identical_work() {
+    let (sim, mapping) = setup();
+    for app in all_apps(Scale::Test) {
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        assert!(base.total_accesses > 0, "{}: empty run", app.name());
+        assert_eq!(
+            base.total_accesses,
+            opt.total_accesses,
+            "{}: the layout transformation changed the dynamic work",
+            app.name()
+        );
+        assert!(
+            base.exec_cycles > 0 && opt.exec_cycles > 0,
+            "{}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn optimization_localizes_offchip_traffic_suite_wide() {
+    // Pooled over the suite, optimized off-chip messages must traverse
+    // fewer links — the paper's central mechanism.
+    let (sim, mapping) = setup();
+    let mut base_hops = 0.0;
+    let mut opt_hops = 0.0;
+    let mut n = 0.0;
+    for app in all_apps(Scale::Test) {
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        if base.offchip_accesses > 100 {
+            base_hops += base.net.off_chip.avg_hops();
+            opt_hops += opt.net.off_chip.avg_hops();
+            n += 1.0;
+        }
+    }
+    assert!(n >= 5.0, "too few apps with off-chip traffic at test scale");
+    assert!(
+        opt_hops / n < base_hops / n,
+        "optimized avg hops {:.2} !< baseline {:.2}",
+        opt_hops / n,
+        base_hops / n
+    );
+}
+
+#[test]
+fn optimal_scheme_is_an_upper_bound_on_localization() {
+    // The §2 optimal scheme uses only nearest controllers, so its off-chip
+    // hop count lower-bounds any layout's.
+    let (sim, mapping) = setup();
+    for app in all_apps(Scale::Test).into_iter().take(4) {
+        let optimal = run_app(&app, &mapping, &sim, RunKind::Optimal);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        if optimal.offchip_accesses > 100 {
+            assert!(
+                optimal.net.off_chip.avg_hops() <= opt.net.off_chip.avg_hops() + 0.3,
+                "{}: optimal hops {:.2} > optimized {:.2}",
+                app.name(),
+                optimal.net.off_chip.avg_hops(),
+                opt.net.off_chip.avg_hops()
+            );
+        }
+    }
+}
+
+#[test]
+fn page_and_cacheline_interleaving_both_work() {
+    let (_, mapping) = setup();
+    for granularity in [Granularity::CacheLine, Granularity::Page] {
+        let sim = SimConfig {
+            granularity,
+            ..SimConfig::scaled()
+        };
+        let app = hoploc::workloads::swim(Scale::Test);
+        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
+        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+        assert_eq!(base.total_accesses, opt.total_accesses, "{granularity:?}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let (sim, mapping) = setup();
+    let app = hoploc::workloads::mgrid(Scale::Test);
+    let a = run_app(&app, &mapping, &sim, RunKind::Optimized);
+    let b = run_app(&app, &mapping, &sim, RunKind::Optimized);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.offchip_accesses, b.offchip_accesses);
+    assert_eq!(a.node_mc_requests, b.node_mc_requests);
+}
+
+#[test]
+fn first_touch_runs_and_respects_clusters() {
+    let (_, mapping) = setup();
+    let sim = SimConfig {
+        granularity: Granularity::Page,
+        ..SimConfig::scaled()
+    };
+    let app = hoploc::workloads::gafort(Scale::Test);
+    let ft = run_app(&app, &mapping, &sim, RunKind::FirstTouch);
+    assert!(ft.total_accesses > 0);
+    assert_eq!(
+        ft.os_fallbacks, 0,
+        "ample memory: no fallback allocations expected"
+    );
+}

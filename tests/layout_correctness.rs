@@ -1,0 +1,145 @@
+//! Cross-crate layout correctness: for every application and both cache
+//! organizations, the customized layouts must be bijective renamings whose
+//! interleave units land on the owner's controllers.
+
+use hoploc::affine::ArrayId;
+use hoploc::layout::{optimize_program, Granularity, L2Mode, PassConfig};
+use hoploc::noc::{L2ToMcMapping, McId, McPlacement, Mesh};
+use hoploc::sim::AddressSpace;
+use hoploc::workloads::{all_apps, Scale};
+use std::collections::HashSet;
+
+fn mapping() -> L2ToMcMapping {
+    L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &McPlacement::Corners)
+}
+
+/// Walks every element of every optimized array of an app, checking
+/// injectivity and bounds.
+fn check_bijection(cfg: PassConfig) {
+    for app in all_apps(Scale::Test) {
+        let layout = optimize_program(&app.program, &mapping(), cfg);
+        for (i, decl) in app.program.arrays().iter().enumerate() {
+            let l = layout.layout(ArrayId(i));
+            let dims = decl.dims();
+            let mut seen = HashSet::new();
+            let mut walk = vec![0i64; dims.len()];
+            'outer: loop {
+                let off = l.place(&walk);
+                assert!(
+                    off >= 0 && off < l.span_elements(),
+                    "{}::{}: offset {off} out of span {}",
+                    app.name(),
+                    decl.name(),
+                    l.span_elements()
+                );
+                assert!(
+                    seen.insert(off),
+                    "{}::{}: collision at {walk:?}",
+                    app.name(),
+                    decl.name()
+                );
+                // Advance the odometer; stop once it wraps around.
+                let mut k = dims.len();
+                loop {
+                    if k == 0 {
+                        break 'outer;
+                    }
+                    k -= 1;
+                    walk[k] += 1;
+                    if walk[k] < dims[k] {
+                        break;
+                    }
+                    walk[k] = 0;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn private_layouts_are_bijective_for_all_apps() {
+    check_bijection(PassConfig::default());
+}
+
+#[test]
+fn shared_layouts_are_bijective_for_all_apps() {
+    check_bijection(PassConfig {
+        l2_mode: L2Mode::Shared,
+        ..PassConfig::default()
+    });
+}
+
+#[test]
+fn page_layouts_are_bijective_for_all_apps() {
+    check_bijection(PassConfig {
+        granularity: Granularity::Page,
+        ..PassConfig::default()
+    });
+}
+
+#[test]
+fn optimized_units_respect_cluster_mcs() {
+    let mapping = mapping();
+    for app in all_apps(Scale::Test) {
+        let layout = optimize_program(&app.program, &mapping, PassConfig::default());
+        for (i, decl) in app.program.arrays().iter().enumerate() {
+            let l = layout.layout(ArrayId(i));
+            if l.is_original() {
+                continue;
+            }
+            let pe = l.unit_elems();
+            let dims = decl.dims();
+            // Sample a diagonal-ish sweep.
+            let samples = 64.min(dims[0]);
+            for s in 0..samples {
+                let dvec: Vec<i64> = dims
+                    .iter()
+                    .map(|&d| (s * d / samples).clamp(0, d - 1))
+                    .collect();
+                let owner = l.owner_thread(&dvec).expect("localized");
+                let node = layout.binding().node_of(owner);
+                let unit = l.place(&dvec) / pe;
+                let mc = McId((unit % mapping.num_mcs() as i64) as u16);
+                assert!(
+                    mapping.mcs_of_node(node).contains(&mc),
+                    "{}::{}: element {dvec:?} on {mc} not serving {node}",
+                    app.name(),
+                    decl.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn desired_page_map_matches_os_semantics() {
+    // Under page interleaving, the desired map the layout exports must
+    // agree with what the placement function computes.
+    let mapping = mapping();
+    let cfg = PassConfig {
+        granularity: Granularity::Page,
+        ..PassConfig::default()
+    };
+    for app in all_apps(Scale::Test).into_iter().take(5) {
+        let layout = optimize_program(&app.program, &mapping, cfg);
+        let space = AddressSpace::build(&app.program, &layout, 0);
+        let desired = space.desired_page_mcs(&app.program, &layout, 4096);
+        for (i, decl) in app.program.arrays().iter().enumerate() {
+            let l = layout.layout(ArrayId(i));
+            if l.is_original() {
+                continue;
+            }
+            let dvec = vec![0i64; decl.rank()];
+            let vaddr = space.addr_of(&layout, ArrayId(i), &dvec);
+            let vpn = vaddr / 4096;
+            let unit = l.place(&dvec) / l.unit_elems();
+            assert_eq!(
+                desired.get(&vpn).copied(),
+                l.desired_unit_mc(unit),
+                "{}::{}: OS map disagrees with layout",
+                app.name(),
+                decl.name()
+            );
+        }
+    }
+}
