@@ -3,9 +3,11 @@
 //! The layout pass only ever manipulates small matrices (array ranks and
 //! loop depths are in single digits), so a simple row-major `Vec<i64>`
 //! representation is both adequate and easy to audit. All operations are
-//! exact integer arithmetic; overflow in intermediate computations panics in
-//! debug builds via the standard checked semantics of `i64` and is
-//! practically unreachable for the matrix sizes this crate targets.
+//! exact integer arithmetic. Products and accumulations are carried out in
+//! `i128` so intermediates cannot wrap even for adversarial inputs; results
+//! are narrowed back to `i64` with an explicit overflow panic, and the
+//! workspace additionally enables `overflow-checks` in release builds for
+//! the remaining plain arithmetic.
 
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
@@ -173,7 +175,13 @@ impl IMat {
         );
         IVec::new(
             (0..self.rows)
-                .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
+                .map(|r| {
+                    narrow(
+                        (0..self.cols)
+                            .map(|c| self[(r, c)] as i128 * v[c] as i128)
+                            .sum(),
+                    )
+                })
                 .collect(),
         )
     }
@@ -188,7 +196,7 @@ impl IMat {
         let n = self.rows;
         let mut m = self.clone();
         let mut sign = 1i64;
-        let mut prev = 1i64;
+        let mut prev = 1i128;
         for k in 0..n {
             if m[(k, k)] == 0 {
                 // Find a pivot below.
@@ -200,13 +208,14 @@ impl IMat {
             }
             for i in k + 1..n {
                 for j in k + 1..n {
-                    let num = m[(k, k)] * m[(i, j)] - m[(i, k)] * m[(k, j)];
+                    let num = m[(k, k)] as i128 * m[(i, j)] as i128
+                        - m[(i, k)] as i128 * m[(k, j)] as i128;
                     debug_assert_eq!(num % prev, 0, "Bareiss division must be exact");
-                    m[(i, j)] = num / prev;
+                    m[(i, j)] = narrow(num / prev);
                 }
                 m[(i, k)] = 0;
             }
-            prev = m[(k, k)];
+            prev = m[(k, k)] as i128;
         }
         sign * m[(n - 1, n - 1)]
     }
@@ -296,7 +305,11 @@ impl Mul for &IMat {
         let mut out = IMat::zeros(self.rows, rhs.cols);
         for r in 0..self.rows {
             for c in 0..rhs.cols {
-                out[(r, c)] = (0..self.cols).map(|k| self[(r, k)] * rhs[(k, c)]).sum();
+                out[(r, c)] = narrow(
+                    (0..self.cols)
+                        .map(|k| self[(r, k)] as i128 * rhs[(k, c)] as i128)
+                        .sum(),
+                );
             }
         }
         out
@@ -394,7 +407,13 @@ impl IVec {
     /// Panics if lengths differ.
     pub fn dot(&self, other: &IVec) -> i64 {
         assert_eq!(self.len(), other.len(), "dimension mismatch in dot product");
-        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+        narrow(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(&a, &b)| a as i128 * b as i128)
+                .sum(),
+        )
     }
 
     /// The greatest common divisor of all components (0 for the zero vector).
@@ -522,6 +541,12 @@ impl fmt::Display for IVec {
         }
         write!(f, ")")
     }
+}
+
+/// Narrows an exact `i128` intermediate back to `i64`, panicking if the
+/// mathematically correct result does not fit.
+pub(crate) fn narrow(x: i128) -> i64 {
+    i64::try_from(x).expect("affine arithmetic result overflowed i64")
 }
 
 /// Greatest common divisor of two non-negative integers.

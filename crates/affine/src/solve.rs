@@ -7,7 +7,7 @@
 //! into a full unimodular transformation matrix `U`. This module provides
 //! those primitives.
 
-use crate::matrix::{extended_gcd, IMat, IVec};
+use crate::matrix::{extended_gcd, narrow, IMat, IVec};
 
 /// Computes an integer basis of the nullspace `{x ∈ Zⁿ : M·x = 0}`.
 ///
@@ -107,16 +107,18 @@ fn swap_cols(a: &mut IMat, v: &mut IMat, i: usize, j: usize) {
 #[allow(clippy::too_many_arguments)]
 fn combine_cols(a: &mut IMat, v: &mut IMat, i: usize, j: usize, x: i64, y: i64, s: i64, t: i64) {
     debug_assert_eq!(
-        (x * t - y * s).abs(),
+        (x as i128 * t as i128 - y as i128 * s as i128).abs(),
         1,
         "column transform must be unimodular"
     );
+    // Products go through i128: Bézout coefficients can be large, and a
+    // wrapped entry would silently corrupt the unimodular bookkeeping.
     for m in [a, v] {
         for r in 0..m.rows() {
-            let ci = m[(r, i)];
-            let cj = m[(r, j)];
-            m[(r, i)] = x * ci + y * cj;
-            m[(r, j)] = s * ci + t * cj;
+            let ci = m[(r, i)] as i128;
+            let cj = m[(r, j)] as i128;
+            m[(r, i)] = narrow(x as i128 * ci + y as i128 * cj);
+            m[(r, j)] = narrow(s as i128 * ci + t as i128 * cj);
         }
     }
 }
@@ -175,10 +177,10 @@ pub fn complete_unimodular(g: &IVec, row: usize) -> Option<IMat> {
         r[c] = 0;
         let (pi, qi) = (p / gd, q / gd);
         for col in 0..n {
-            let w0 = w[(0, col)];
-            let wc = w[(c, col)];
-            w[(0, col)] = pi * w0 + qi * wc;
-            w[(c, col)] = -y * w0 + x * wc;
+            let w0 = w[(0, col)] as i128;
+            let wc = w[(c, col)] as i128;
+            w[(0, col)] = narrow(pi as i128 * w0 + qi as i128 * wc);
+            w[(c, col)] = narrow(-(y as i128) * w0 + x as i128 * wc);
         }
     }
     debug_assert_eq!(r[0].abs(), 1, "primitive vector must reduce to ±1");
@@ -236,12 +238,15 @@ pub fn hermite_normal_form(m: &IMat) -> (IMat, IMat) {
         for r in pivot_row + 1..rows {
             while h[(r, c)] != 0 {
                 let q = h[(pivot_row, c)] / h[(r, c)];
-                // row[pivot] -= q * row[r]
+                // row[pivot] -= q * row[r], with i128 intermediates so the
+                // quotient-scaled row cannot wrap.
                 for k in 0..cols {
-                    h[(pivot_row, k)] -= q * h[(r, k)];
+                    h[(pivot_row, k)] =
+                        narrow(h[(pivot_row, k)] as i128 - q as i128 * h[(r, k)] as i128);
                 }
                 for k in 0..rows {
-                    t[(pivot_row, k)] -= q * t[(r, k)];
+                    t[(pivot_row, k)] =
+                        narrow(t[(pivot_row, k)] as i128 - q as i128 * t[(r, k)] as i128);
                 }
                 h.swap_rows(pivot_row, r);
                 t.swap_rows(pivot_row, r);
@@ -265,10 +270,10 @@ pub fn hermite_normal_form(m: &IMat) -> (IMat, IMat) {
             let q = h[(r, c)].div_euclid(p);
             if q != 0 {
                 for k in 0..cols {
-                    h[(r, k)] -= q * h[(pivot_row, k)];
+                    h[(r, k)] = narrow(h[(r, k)] as i128 - q as i128 * h[(pivot_row, k)] as i128);
                 }
                 for k in 0..rows {
-                    t[(r, k)] -= q * t[(pivot_row, k)];
+                    t[(r, k)] = narrow(t[(r, k)] as i128 - q as i128 * t[(pivot_row, k)] as i128);
                 }
             }
         }

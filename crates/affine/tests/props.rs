@@ -1,100 +1,195 @@
 //! Property-based tests of the integer linear algebra invariants that the
-//! layout pass's correctness rests on.
+//! layout pass's correctness rests on. Deterministic randomized cases via
+//! `hoploc-ptest` (the workspace's offline stand-in for proptest).
 
 use hoploc_affine::{
     complete_unimodular, gcd, hermite_normal_form, nullspace, AffineAccess, IMat, IVec,
 };
-use proptest::prelude::*;
+use hoploc_ptest::{run_cases, SmallRng};
 
-/// Strategy: a small non-zero integer vector.
-fn small_vec(len: usize) -> impl Strategy<Value = IVec> {
-    proptest::collection::vec(-9i64..=9, len)
-        .prop_filter("non-zero", |v| v.iter().any(|&x| x != 0))
-        .prop_map(IVec::new)
-}
-
-/// Strategy: a small matrix of the given shape.
-fn small_mat(rows: usize, cols: usize) -> impl Strategy<Value = IMat> {
-    proptest::collection::vec(-6i64..=6, rows * cols)
-        .prop_map(move |data| IMat::from_vec(rows, cols, data))
-}
-
-proptest! {
-    #[test]
-    fn completion_is_always_unimodular(v in small_vec(4), row in 0usize..4) {
-        let u = complete_unimodular(&v, row).expect("non-zero vector completes");
-        prop_assert!(u.is_unimodular());
-        prop_assert_eq!(u.row(row), v.to_primitive());
+/// A small non-zero integer vector of length `len`.
+fn small_vec(rng: &mut SmallRng, len: usize) -> IVec {
+    loop {
+        let v: Vec<i64> = (0..len).map(|_| rng.i64_in(-9..10)).collect();
+        if v.iter().any(|&x| x != 0) {
+            return IVec::new(v);
+        }
     }
+}
 
-    #[test]
-    fn completion_inverse_roundtrips(v in small_vec(3), row in 0usize..3) {
+/// A small matrix of the given shape.
+fn small_mat(rng: &mut SmallRng, rows: usize, cols: usize) -> IMat {
+    IMat::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.i64_in(-6..7)).collect(),
+    )
+}
+
+/// The rank of `m`: the number of non-zero rows of its Hermite normal
+/// form (row echelon form under unimodular row operations).
+fn rank(m: &IMat) -> usize {
+    let (h, _) = hermite_normal_form(m);
+    (0..h.rows())
+        .filter(|&r| (0..h.cols()).any(|c| h[(r, c)] != 0))
+        .count()
+}
+
+#[test]
+fn completion_is_always_unimodular() {
+    run_cases("completion_is_always_unimodular", 256, |rng| {
+        let v = small_vec(rng, 4);
+        let row = rng.usize_in(0..4);
+        let u = complete_unimodular(&v, row).expect("non-zero vector completes");
+        assert!(u.is_unimodular());
+        assert_eq!(u.row(row), v.to_primitive());
+    });
+}
+
+#[test]
+fn completion_inverse_roundtrips() {
+    run_cases("completion_inverse_roundtrips", 256, |rng| {
+        let v = small_vec(rng, 3);
+        let row = rng.usize_in(0..3);
         let u = complete_unimodular(&v, row).expect("non-zero vector completes");
         let inv = u.inverse_unimodular();
-        prop_assert_eq!(&u * &inv, IMat::identity(3));
-    }
+        assert_eq!(&u * &inv, IMat::identity(3));
+        assert_eq!(&inv * &u, IMat::identity(3));
+    });
+}
 
-    #[test]
-    fn nullspace_vectors_annihilate(m in small_mat(2, 4)) {
+#[test]
+fn completion_roundtrips_for_random_primitive_vectors() {
+    // For primitive v the completion embeds v exactly (no gcd division),
+    // and conjugating the identity through U is lossless.
+    run_cases(
+        "completion_roundtrips_for_random_primitive_vectors",
+        256,
+        |rng| {
+            let n = rng.usize_in(2..5);
+            let v = small_vec(rng, n).to_primitive();
+            let row = rng.usize_in(0..n);
+            let u = complete_unimodular(&v, row).expect("non-zero vector completes");
+            assert_eq!(u.row(row), v, "primitive vector must embed verbatim");
+            let inv = u.inverse_unimodular();
+            assert_eq!(&(&u * &inv) * &u, u, "U·U⁻¹·U must round-trip to U");
+            // Recovering v through the inverse: (0,…,1,…,0)·U = row(U).
+            let e = IVec::unit(n, row);
+            assert_eq!(u.transpose().mul_vec(&e), v);
+        },
+    );
+}
+
+#[test]
+fn nullspace_vectors_annihilate() {
+    run_cases("nullspace_vectors_annihilate", 256, |rng| {
+        let m = small_mat(rng, 2, 4);
         for b in nullspace(&m) {
-            prop_assert!(m.mul_vec(&b).is_zero(), "basis vector not in kernel");
-            prop_assert_eq!(b.gcd(), 1, "basis vectors are primitive");
+            assert!(m.mul_vec(&b).is_zero(), "basis vector not in kernel");
+            assert_eq!(b.gcd(), 1, "basis vectors are primitive");
         }
-    }
+    });
+}
 
-    #[test]
-    fn nullspace_dimension_bound(m in small_mat(3, 3)) {
-        // rank + nullity = 3; nullity is 3 iff the matrix is zero.
+#[test]
+fn nullspace_dimension_equals_cols_minus_rank() {
+    run_cases("nullspace_dimension_equals_cols_minus_rank", 256, |rng| {
+        let rows = rng.usize_in(1..4);
+        let cols = rng.usize_in(1..5);
+        let m = small_mat(rng, rows, cols);
         let basis = nullspace(&m);
-        prop_assert!(basis.len() <= 3);
-        if m.det() != 0 {
-            prop_assert!(basis.is_empty(), "nonsingular matrix has trivial kernel");
-        } else {
-            prop_assert!(!basis.is_empty(), "singular matrix has non-trivial kernel");
+        assert_eq!(
+            basis.len(),
+            cols - rank(&m),
+            "rank-nullity violated for {m:?}"
+        );
+        for b in &basis {
+            assert!(m.mul_vec(b).is_zero());
         }
-    }
+    });
+}
 
-    #[test]
-    fn hnf_is_a_unimodular_row_transform(m in small_mat(3, 4)) {
+#[test]
+fn nullspace_dimension_bound() {
+    run_cases("nullspace_dimension_bound", 256, |rng| {
+        // rank + nullity = 3; nullity is 0 iff the matrix is nonsingular.
+        let m = small_mat(rng, 3, 3);
+        let basis = nullspace(&m);
+        assert!(basis.len() <= 3);
+        if m.det() != 0 {
+            assert!(basis.is_empty(), "nonsingular matrix has trivial kernel");
+        } else {
+            assert!(!basis.is_empty(), "singular matrix has non-trivial kernel");
+        }
+    });
+}
+
+#[test]
+fn hnf_is_a_unimodular_row_transform() {
+    run_cases("hnf_is_a_unimodular_row_transform", 256, |rng| {
+        let m = small_mat(rng, 3, 4);
         let (h, t) = hermite_normal_form(&m);
-        prop_assert!(t.is_unimodular());
-        prop_assert_eq!(&t * &m, h);
-    }
+        assert!(t.is_unimodular());
+        assert_eq!(&t * &m, h);
+    });
+}
 
-    #[test]
-    fn det_is_multiplicative(a in small_mat(3, 3), b in small_mat(3, 3)) {
-        prop_assert_eq!((&a * &b).det(), a.det() * b.det());
-    }
+#[test]
+fn hnf_is_idempotent() {
+    run_cases("hnf_is_idempotent", 256, |rng| {
+        let rows = rng.usize_in(1..4);
+        let cols = rng.usize_in(1..5);
+        let m = small_mat(rng, rows, cols);
+        let (h, _) = hermite_normal_form(&m);
+        let (h2, t2) = hermite_normal_form(&h);
+        assert_eq!(h2, h, "HNF must be a fixed point of itself for {m:?}");
+        assert!(t2.is_unimodular());
+    });
+}
 
-    #[test]
-    fn transpose_preserves_det(m in small_mat(3, 3)) {
-        prop_assert_eq!(m.det(), m.transpose().det());
-    }
+#[test]
+fn det_is_multiplicative() {
+    run_cases("det_is_multiplicative", 256, |rng| {
+        let a = small_mat(rng, 3, 3);
+        let b = small_mat(rng, 3, 3);
+        assert_eq!((&a * &b).det(), a.det() * b.det());
+    });
+}
 
-    #[test]
-    fn gcd_divides_both(a in -1000i64..1000, b in -1000i64..1000) {
+#[test]
+fn transpose_preserves_det() {
+    run_cases("transpose_preserves_det", 256, |rng| {
+        let m = small_mat(rng, 3, 3);
+        assert_eq!(m.det(), m.transpose().det());
+    });
+}
+
+#[test]
+fn gcd_divides_both() {
+    run_cases("gcd_divides_both", 512, |rng| {
+        let a = rng.i64_in(-1000..1000);
+        let b = rng.i64_in(-1000..1000);
         let g = gcd(a, b);
         if g != 0 {
-            prop_assert_eq!(a % g, 0);
-            prop_assert_eq!(b % g, 0);
+            assert_eq!(a % g, 0);
+            assert_eq!(b % g, 0);
         } else {
-            prop_assert_eq!((a, b), (0, 0));
+            assert_eq!((a, b), (0, 0));
         }
-    }
+    });
+}
 
-    #[test]
-    fn access_transform_commutes_with_eval(
-        m in small_mat(2, 2),
-        off in proptest::collection::vec(-4i64..=4, 2),
-        i0 in 0i64..16,
-        i1 in 0i64..16,
-    ) {
+#[test]
+fn access_transform_commutes_with_eval() {
+    run_cases("access_transform_commutes_with_eval", 256, |rng| {
         // (U·r)(i) == U·(r(i)) for any transformation matrix U.
+        let m = small_mat(rng, 2, 2);
+        let off: Vec<i64> = (0..2).map(|_| rng.i64_in(-4..5)).collect();
+        let iv = IVec::new(vec![rng.i64_in(0..16), rng.i64_in(0..16)]);
         let access = AffineAccess::new(m, IVec::new(off));
         let u = IMat::from_rows(&[&[0, 1], &[1, 0]]);
-        let iv = IVec::new(vec![i0, i1]);
         let direct = access.transformed(&u).eval(&iv);
         let indirect = u.mul_vec(&access.eval(&iv));
-        prop_assert_eq!(direct, indirect);
-    }
+        assert_eq!(direct, indirect);
+    });
 }

@@ -4,9 +4,10 @@
 //! (top-left) quadrant.
 
 use hoploc_bench::{banner, m1, standard_config};
+use hoploc_harness::Suite;
 use hoploc_layout::Granularity;
 use hoploc_sim::RunStats;
-use hoploc_workloads::{apsi, run_app, RunKind, Scale};
+use hoploc_workloads::{apsi, RunKind, Scale};
 
 fn print_map(label: &str, stats: &RunStats, width: usize) {
     println!("\n{label}: share of MC1's requests from each node (x100)");
@@ -38,10 +39,9 @@ fn main() {
     );
     let sim = standard_config(Granularity::CacheLine);
     let mapping = m1(sim.mesh);
-    let app = apsi(Scale::Bench);
     let width = sim.mesh.width() as usize;
-    let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
-    print_map("ORIGINAL", &base, width);
-    let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
-    print_map("OPTIMIZED", &opt, width);
+    let s = Suite::new(vec![apsi(Scale::Bench)], mapping, sim);
+    let records = s.run_full(&[RunKind::Baseline, RunKind::Optimized], 2);
+    print_map("ORIGINAL", &records[0].stats, width);
+    print_map("OPTIMIZED", &records[1].stats, width);
 }

@@ -2,12 +2,9 @@
 //! (compiler layout + OS-assisted page allocation). Paper averages:
 //! 12.1% / 62.8% / 41.9% / 17.1%.
 
-use hoploc_bench::{
-    banner, four_metric_avg, four_metric_header, four_metric_row, m1, standard_config, suite,
-};
+use hoploc_bench::{banner, bench_suite, four_metric_figure, m1, standard_config};
 use hoploc_layout::Granularity;
-use hoploc_sim::Improvement;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner(
@@ -15,15 +12,6 @@ fn main() {
         "optimized vs baseline (page interleaving, private L2)",
     );
     let sim = standard_config(Granularity::Page);
-    let mapping = m1(sim.mesh);
-    four_metric_header();
-    let mut rows = Vec::new();
-    for app in suite() {
-        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
-        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
-        let imp = Improvement::between(&base, &opt);
-        four_metric_row(app.name(), &imp);
-        rows.push(imp);
-    }
-    four_metric_avg(&rows);
+    let s = bench_suite(sim.clone(), m1(sim.mesh));
+    four_metric_figure(&s, RunKind::Baseline, RunKind::Optimized);
 }

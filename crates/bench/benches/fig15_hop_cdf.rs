@@ -4,10 +4,10 @@
 //! (e.g. 22% → 31% of requests within 4 links) while barely moving the
 //! on-chip CDF — on-chip gains come from reduced contention, not distance.
 
-use hoploc_bench::{banner, m1, standard_config, suite};
+use hoploc_bench::{banner, bench_suite, m1, standard_config, sweep_pair};
 use hoploc_layout::Granularity;
 use hoploc_noc::MAX_HOPS;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner(
@@ -15,12 +15,10 @@ fn main() {
         "CDF of links traversed (pooled over all applications)",
     );
     let sim = standard_config(Granularity::CacheLine);
-    let mapping = m1(sim.mesh);
+    let s = bench_suite(sim.clone(), m1(sim.mesh));
 
     let mut hists = [[0u64; MAX_HOPS]; 4]; // on-base, on-opt, off-base, off-opt
-    for app in suite() {
-        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
-        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+    for (_, base, opt) in sweep_pair(&s, RunKind::Baseline, RunKind::Optimized) {
         #[allow(clippy::needless_range_loop)]
         for h in 0..MAX_HOPS {
             hists[0][h] += base.net.on_chip.hop_histogram[h];

@@ -4,9 +4,10 @@
 //! minighost as the exceptions. The last column shows which mapping the
 //! compiler's §4 selection analysis picks from the two candidates.
 
-use hoploc_bench::{banner, exec_saving, m1, m2, standard_config, suite};
+use hoploc_bench::{banner, bench_suite, exec_saving, m1, m2, standard_config, sweep_pair};
+use hoploc_harness::default_jobs;
 use hoploc_layout::{select_mapping, Granularity, SelectModel};
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner("Figure 17", "execution-time savings: M1 vs M2 mappings");
@@ -15,17 +16,19 @@ fn main() {
     let m2 = m2(sim.mesh);
     let candidates = [m1.clone(), m2.clone()];
     let model = SelectModel::default();
+    let s1 = bench_suite(sim.clone(), m1);
+    let s2 = bench_suite(sim, m2);
+    let pairs = sweep_pair(&s1, RunKind::Baseline, RunKind::Optimized);
+    let o2 = s2.run_full(&[RunKind::Optimized], default_jobs());
     println!("{:<11} {:>8} {:>8} {:>10}", "app", "M1", "M2", "compiler");
-    for app in suite() {
-        let base = run_app(&app, &m1, &sim, RunKind::Baseline);
-        let o1 = run_app(&app, &m1, &sim, RunKind::Optimized);
-        let o2 = run_app(&app, &m2, &sim, RunKind::Optimized);
+    for (i, (name, base, opt1)) in pairs.iter().enumerate() {
+        let app = &s1.apps()[i];
         let pick = select_mapping(&candidates, &app.profile, &model);
         println!(
             "{:<11} {:>7.1}% {:>7.1}% {:>10}",
-            app.name(),
-            exec_saving(&base, &o1),
-            exec_saving(&base, &o2),
+            name,
+            exec_saving(base, opt1),
+            exec_saving(base, &o2[i].stats),
             if pick == 0 { "M1" } else { "M2" }
         );
     }

@@ -3,9 +3,10 @@
 //! higher occupancy than the rest — the memory-parallelism demand that
 //! makes them prefer M2.
 
-use hoploc_bench::{banner, bar, m1, standard_config, suite};
+use hoploc_bench::{banner, bar, bench_suite, m1, standard_config};
+use hoploc_harness::default_jobs;
 use hoploc_layout::Granularity;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner(
@@ -13,11 +14,10 @@ fn main() {
         "bank queue occupancy under M1 (optimized runs)",
     );
     let sim = standard_config(Granularity::CacheLine);
-    let mapping = m1(sim.mesh);
+    let s = bench_suite(sim.clone(), m1(sim.mesh));
     println!("{:<11} {:>10}", "app", "occupancy");
-    for app in suite() {
-        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
-        let occ = opt.bank_queue_occupancy();
-        println!("{:<11} {:>10.2}  {}", app.name(), occ, bar(occ, 4.0));
+    for r in s.run_full(&[RunKind::Optimized], default_jobs()) {
+        let occ = r.stats.bank_queue_occupancy();
+        println!("{:<11} {:>10.2}  {}", r.app, occ, bar(occ, 4.0));
     }
 }

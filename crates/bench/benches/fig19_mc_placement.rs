@@ -3,11 +3,12 @@
 //! (diagonal, Figure 26b). The paper finds P2 slightly best (~20.7% avg)
 //! because its average distance-to-controller is lowest.
 
-use hoploc_bench::{banner, exec_saving, standard_config, suite};
+use hoploc_bench::{banner, exec_saving_figure, standard_config, suite};
+use hoploc_harness::Suite;
 use hoploc_layout::Granularity;
 use hoploc_noc::{L2ToMcMapping, McPlacement};
 use hoploc_sim::SimConfig;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner(
@@ -16,42 +17,27 @@ fn main() {
     );
     let base_cfg = standard_config(Granularity::CacheLine);
     let placements = [
-        ("P1", McPlacement::Corners),
-        ("P2", McPlacement::EdgeMidpoints),
-        ("P3", McPlacement::Diagonal),
+        McPlacement::Corners,
+        McPlacement::EdgeMidpoints,
+        McPlacement::Diagonal,
     ];
-    println!("{:<11} {:>8} {:>8} {:>8}", "app", "P1", "P2", "P3");
-    let apps = suite();
-    let mut avgs = [0.0f64; 3];
-    for app in &apps {
-        let mut row = Vec::new();
-        for (_, placement) in &placements {
+    // One suite per placement: the configuration is part of the cache key
+    // by construction.
+    let suites: Vec<Suite> = placements
+        .iter()
+        .map(|placement| {
             let sim = SimConfig {
                 placement: placement.clone(),
                 ..base_cfg.clone()
             };
             let mapping = L2ToMcMapping::nearest_cluster(sim.mesh, placement);
-            let base = run_app(app, &mapping, &sim, RunKind::Baseline);
-            let opt = run_app(app, &mapping, &sim, RunKind::Optimized);
-            row.push(exec_saving(&base, &opt));
-        }
-        println!(
-            "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
-            app.name(),
-            row[0],
-            row[1],
-            row[2]
-        );
-        for (a, r) in avgs.iter_mut().zip(&row) {
-            *a += r;
-        }
-    }
-    println!("{}", "-".repeat(40));
-    println!(
-        "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
-        "AVERAGE",
-        avgs[0] / apps.len() as f64,
-        avgs[1] / apps.len() as f64,
-        avgs[2] / apps.len() as f64
+            Suite::new(suite(), mapping, sim)
+        })
+        .collect();
+    exec_saving_figure(
+        &suites,
+        &["P1", "P2", "P3"],
+        RunKind::Baseline,
+        RunKind::Optimized,
     );
 }

@@ -2,52 +2,36 @@
 //! (Figure 27 configurations). The paper sees higher savings at larger MC
 //! counts — more memory parallelism within each cluster.
 
-use hoploc_bench::{banner, exec_saving, standard_config, suite};
+use hoploc_bench::{banner, exec_saving_figure, standard_config, suite};
+use hoploc_harness::Suite;
 use hoploc_layout::Granularity;
 use hoploc_noc::{L2ToMcMapping, McPlacement};
 use hoploc_sim::SimConfig;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner("Figure 20", "execution-time savings with 4 / 8 / 16 MCs");
     let base_cfg = standard_config(Granularity::CacheLine);
     let configs = [
-        ("4 MCs", McPlacement::Corners),
-        ("8 MCs", McPlacement::Eight),
-        ("16 MCs", McPlacement::Sixteen),
+        McPlacement::Corners,
+        McPlacement::Eight,
+        McPlacement::Sixteen,
     ];
-    println!("{:<11} {:>8} {:>8} {:>8}", "app", "4", "8", "16");
-    let apps = suite();
-    let mut avgs = [0.0f64; 3];
-    for app in &apps {
-        let mut row = Vec::new();
-        for (_, placement) in &configs {
+    let suites: Vec<Suite> = configs
+        .iter()
+        .map(|placement| {
             let sim = SimConfig {
                 placement: placement.clone(),
                 ..base_cfg.clone()
             };
             let mapping = L2ToMcMapping::nearest_cluster(sim.mesh, placement);
-            let base = run_app(app, &mapping, &sim, RunKind::Baseline);
-            let opt = run_app(app, &mapping, &sim, RunKind::Optimized);
-            row.push(exec_saving(&base, &opt));
-        }
-        println!(
-            "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
-            app.name(),
-            row[0],
-            row[1],
-            row[2]
-        );
-        for (a, r) in avgs.iter_mut().zip(&row) {
-            *a += r;
-        }
-    }
-    println!("{}", "-".repeat(40));
-    println!(
-        "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
-        "AVERAGE",
-        avgs[0] / apps.len() as f64,
-        avgs[1] / apps.len() as f64,
-        avgs[2] / apps.len() as f64
+            Suite::new(suite(), mapping, sim)
+        })
+        .collect();
+    exec_saving_figure(
+        &suites,
+        &["4", "8", "16"],
+        RunKind::Baseline,
+        RunKind::Optimized,
     );
 }

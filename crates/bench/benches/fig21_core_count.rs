@@ -2,11 +2,12 @@
 //! corner MCs each). The paper reports 14% / 18% / 20.5% — gains grow
 //! with the mesh because distances grow.
 
-use hoploc_bench::{banner, exec_saving, standard_config, suite};
+use hoploc_bench::{banner, exec_saving_figure, standard_config, suite};
+use hoploc_harness::Suite;
 use hoploc_layout::Granularity;
 use hoploc_noc::{L2ToMcMapping, McPlacement, Mesh};
 use hoploc_sim::SimConfig;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner(
@@ -15,38 +16,21 @@ fn main() {
     );
     let base_cfg = standard_config(Granularity::CacheLine);
     let meshes = [Mesh::new(4, 4), Mesh::new(8, 4), Mesh::new(8, 8)];
-    println!("{:<11} {:>8} {:>8} {:>8}", "app", "4x4", "4x8", "8x8");
-    let apps = suite();
-    let mut avgs = [0.0f64; 3];
-    for app in &apps {
-        let mut row = Vec::new();
-        for mesh in &meshes {
+    let suites: Vec<Suite> = meshes
+        .iter()
+        .map(|mesh| {
             let sim = SimConfig {
                 mesh: *mesh,
                 ..base_cfg.clone()
             };
             let mapping = L2ToMcMapping::nearest_cluster(*mesh, &McPlacement::Corners);
-            let base = run_app(app, &mapping, &sim, RunKind::Baseline);
-            let opt = run_app(app, &mapping, &sim, RunKind::Optimized);
-            row.push(exec_saving(&base, &opt));
-        }
-        println!(
-            "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
-            app.name(),
-            row[0],
-            row[1],
-            row[2]
-        );
-        for (a, r) in avgs.iter_mut().zip(&row) {
-            *a += r;
-        }
-    }
-    println!("{}", "-".repeat(40));
-    println!(
-        "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
-        "AVERAGE",
-        avgs[0] / apps.len() as f64,
-        avgs[1] / apps.len() as f64,
-        avgs[2] / apps.len() as f64
+            Suite::new(suite(), mapping, sim)
+        })
+        .collect();
+    exec_saving_figure(
+        &suites,
+        &["4x4", "4x8", "8x8"],
+        RunKind::Baseline,
+        RunKind::Optimized,
     );
 }

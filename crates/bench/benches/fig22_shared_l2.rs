@@ -3,26 +3,14 @@
 //! The paper's average execution-time saving is 24.3% — better than the
 //! private-L2 case except for fma3d and minighost.
 
-use hoploc_bench::{
-    banner, four_metric_avg, four_metric_header, four_metric_row, m1, standard_config, suite,
-};
+use hoploc_bench::{banner, bench_suite, four_metric_figure, m1, standard_config};
 use hoploc_layout::{Granularity, L2Mode};
-use hoploc_sim::Improvement;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner("Figure 22", "optimized vs baseline (shared SNUCA L2)");
     let mut sim = standard_config(Granularity::CacheLine);
     sim.l2_mode = L2Mode::Shared;
-    let mapping = m1(sim.mesh);
-    four_metric_header();
-    let mut rows = Vec::new();
-    for app in suite() {
-        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
-        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
-        let imp = Improvement::between(&base, &opt);
-        four_metric_row(app.name(), &imp);
-        rows.push(imp);
-    }
-    four_metric_avg(&rows);
+    let s = bench_suite(sim.clone(), m1(sim.mesh));
+    four_metric_figure(&s, RunKind::Baseline, RunKind::Optimized);
 }

@@ -4,9 +4,9 @@
 //! where the first toucher is also the dominant accessor (wupwise,
 //! gafort, minimd).
 
-use hoploc_bench::{banner, exec_saving, m1, standard_config, suite};
+use hoploc_bench::{banner, bench_suite, exec_saving, m1, standard_config, sweep_pair};
 use hoploc_layout::Granularity;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner(
@@ -14,23 +14,21 @@ fn main() {
         "compiler scheme vs OS first-touch (page interleaving)",
     );
     let sim = standard_config(Granularity::Page);
-    let mapping = m1(sim.mesh);
+    let s = bench_suite(sim.clone(), m1(sim.mesh));
     println!(
         "{:<11} {:>14} {:>20}",
         "app", "vs first-touch", "first-touch friendly"
     );
-    let apps = suite();
+    let pairs = sweep_pair(&s, RunKind::FirstTouch, RunKind::Optimized);
     let mut sum = 0.0;
-    for app in &apps {
-        let ft = run_app(app, &mapping, &sim, RunKind::FirstTouch);
-        let opt = run_app(app, &mapping, &sim, RunKind::Optimized);
-        let gain = exec_saving(&ft, &opt);
+    for (i, (name, ft, opt)) in pairs.iter().enumerate() {
+        let gain = exec_saving(ft, opt);
         sum += gain;
         println!(
             "{:<11} {:>13.1}% {:>20}",
-            app.name(),
+            name,
             gain,
-            if app.first_touch_friendly {
+            if s.apps()[i].first_touch_friendly {
                 "yes"
             } else {
                 "no"
@@ -38,5 +36,5 @@ fn main() {
         );
     }
     println!("{}", "-".repeat(50));
-    println!("{:<11} {:>13.1}%", "AVERAGE", sum / apps.len() as f64);
+    println!("{:<11} {:>13.1}%", "AVERAGE", sum / pairs.len() as f64);
 }

@@ -3,9 +3,9 @@
 //! baseline network contention grows dramatically while the optimization
 //! keeps distances short.
 
-use hoploc_bench::{banner, exec_saving, m1, standard_config, suite};
+use hoploc_bench::{banner, bench_suite, exec_saving_figure, m1, standard_config};
 use hoploc_layout::Granularity;
-use hoploc_workloads::{run_app_threads, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner(
@@ -13,33 +13,14 @@ fn main() {
         "execution-time savings with 1 / 2 / 4 threads per core",
     );
     let sim = standard_config(Granularity::CacheLine);
-    let mapping = m1(sim.mesh);
-    println!("{:<11} {:>8} {:>8} {:>8}", "app", "1t", "2t", "4t");
-    let apps = suite();
-    let mut avgs = [0.0f64; 3];
-    for app in &apps {
-        let mut row = Vec::new();
-        for (i, tpc) in [1usize, 2, 4].iter().enumerate() {
-            let base = run_app_threads(app, &mapping, &sim, RunKind::Baseline, *tpc);
-            let opt = run_app_threads(app, &mapping, &sim, RunKind::Optimized, *tpc);
-            let s = exec_saving(&base, &opt);
-            avgs[i] += s;
-            row.push(s);
-        }
-        println!(
-            "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
-            app.name(),
-            row[0],
-            row[1],
-            row[2]
-        );
-    }
-    println!("{}", "-".repeat(40));
-    println!(
-        "{:<11} {:>7.1}% {:>7.1}% {:>7.1}%",
-        "AVERAGE",
-        avgs[0] / apps.len() as f64,
-        avgs[1] / apps.len() as f64,
-        avgs[2] / apps.len() as f64
+    let suites: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&tpc| bench_suite(sim.clone(), m1(sim.mesh)).with_threads_per_core(tpc))
+        .collect();
+    exec_saving_figure(
+        &suites,
+        &["1t", "2t", "4t"],
+        RunKind::Baseline,
+        RunKind::Optimized,
     );
 }

@@ -2,9 +2,10 @@
 //! accesses (8×8 mesh, private L2s, page interleaving — the paper reports
 //! a 22.4% average).
 
-use hoploc_bench::{banner, bar, m1, standard_config, suite};
+use hoploc_bench::{banner, bar, bench_suite, m1, standard_config};
+use hoploc_harness::default_jobs;
 use hoploc_layout::Granularity;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner(
@@ -12,16 +13,15 @@ fn main() {
         "off-chip share of dynamic data accesses (baseline)",
     );
     let sim = standard_config(Granularity::Page);
-    let mapping = m1(sim.mesh);
+    let s = bench_suite(sim.clone(), m1(sim.mesh));
+    let records = s.run_full(&[RunKind::Baseline], default_jobs());
     println!("{:<11} {:>9}", "app", "off-chip");
     let mut sum = 0.0;
-    let apps = suite();
-    for app in &apps {
-        let stats = run_app(app, &mapping, &sim, RunKind::Baseline);
-        let f = stats.offchip_fraction() * 100.0;
+    for r in &records {
+        let f = r.stats.offchip_fraction() * 100.0;
         sum += f;
-        println!("{:<11} {:>8.1}%  {}", app.name(), f, bar(f, 1.5));
+        println!("{:<11} {:>8.1}%  {}", r.app, f, bar(f, 1.5));
     }
     println!("{}", "-".repeat(40));
-    println!("{:<11} {:>8.1}%", "AVERAGE", sum / apps.len() as f64);
+    println!("{:<11} {:>8.1}%", "AVERAGE", sum / records.len() as f64);
 }

@@ -3,25 +3,13 @@
 //! four headline metrics, under page interleaving. Paper averages:
 //! 20.8% / 68.2% / 45.6% / 19.5%.
 
-use hoploc_bench::{
-    banner, four_metric_avg, four_metric_header, four_metric_row, m1, standard_config, suite,
-};
+use hoploc_bench::{banner, bench_suite, four_metric_figure, m1, standard_config};
 use hoploc_layout::Granularity;
-use hoploc_sim::Improvement;
-use hoploc_workloads::{run_app, RunKind};
+use hoploc_workloads::RunKind;
 
 fn main() {
     banner("Figure 4", "optimal scheme vs baseline (page interleaving)");
     let sim = standard_config(Granularity::Page);
-    let mapping = m1(sim.mesh);
-    four_metric_header();
-    let mut rows = Vec::new();
-    for app in suite() {
-        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
-        let optimal = run_app(&app, &mapping, &sim, RunKind::Optimal);
-        let imp = Improvement::between(&base, &optimal);
-        four_metric_row(app.name(), &imp);
-        rows.push(imp);
-    }
-    four_metric_avg(&rows);
+    let s = bench_suite(sim.clone(), m1(sim.mesh));
+    four_metric_figure(&s, RunKind::Baseline, RunKind::Optimal);
 }

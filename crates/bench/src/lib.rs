@@ -5,15 +5,23 @@
 //! corresponding figure of *Optimizing Off-Chip Accesses in Multicores*
 //! (PLDI 2015); `EXPERIMENTS.md` records paper-vs-measured values.
 //!
+//! All suite sweeps go through [`hoploc_harness::Suite`]: the whole
+//! (app × run-kind) matrix of a figure is fanned out across worker
+//! threads, layout compilation and trace generation are memoized, and the
+//! results are bit-identical to the sequential `run_app` loops the
+//! harnesses used to run.
+//!
 //! Run all of them with `cargo bench`, or one with
 //! `cargo bench --bench fig16_cacheline`.
 
 #![forbid(unsafe_code)]
 
+use hoploc_harness::{default_jobs, RunRecord, Suite};
 use hoploc_layout::Granularity;
 use hoploc_noc::{L2ToMcMapping, McPlacement, Mesh};
 use hoploc_sim::{Improvement, RunStats, SimConfig};
-use hoploc_workloads::{all_apps, App, Scale};
+use hoploc_workloads::{all_apps, App, RunKind, Scale};
+use std::time::Instant;
 
 /// The standard capacity-scaled simulator configuration all harnesses use,
 /// at the given interleaving granularity.
@@ -37,6 +45,38 @@ pub fn m2(mesh: Mesh) -> L2ToMcMapping {
 /// The benchmark-scale application suite.
 pub fn suite() -> Vec<App> {
     all_apps(Scale::Bench)
+}
+
+/// A [`Suite`] over the benchmark-scale apps under the given config and
+/// mapping — the standard harness every figure sweep starts from.
+pub fn bench_suite(sim: SimConfig, mapping: L2ToMcMapping) -> Suite {
+    Suite::new(suite(), mapping, sim)
+}
+
+/// Runs the full (suite × kinds) matrix in parallel and returns, per app,
+/// the records in kind order — `result[a][k]` is app `a` under `kinds[k]`.
+pub fn sweep_kinds(s: &Suite, kinds: &[RunKind]) -> Vec<Vec<RunRecord>> {
+    let records = s.run_full(kinds, default_jobs());
+    let napps = s.apps().len();
+    let mut per_app: Vec<Vec<RunRecord>> = (0..napps).map(|_| Vec::new()).collect();
+    // full_matrix orders kinds outermost, apps innermost.
+    for (i, r) in records.into_iter().enumerate() {
+        per_app[i % napps].push(r);
+    }
+    per_app
+}
+
+/// The commonest figure shape: baseline-vs-other per app, as
+/// `(name, baseline, other)` rows in suite order.
+pub fn sweep_pair(s: &Suite, base: RunKind, other: RunKind) -> Vec<(String, RunStats, RunStats)> {
+    sweep_kinds(s, &[base, other])
+        .into_iter()
+        .map(|mut recs| {
+            let o = recs.pop().expect("two kinds");
+            let b = recs.pop().expect("two kinds");
+            (b.app, b.stats, o.stats)
+        })
+        .collect()
 }
 
 /// Prints a figure banner.
@@ -80,6 +120,56 @@ pub fn four_metric_avg(rows: &[Improvement]) {
     four_metric_row("AVERAGE", &avg);
 }
 
+/// The standard four-metric figure body: sweep the suite under two kinds
+/// in parallel, print one reduction row per app plus the average.
+pub fn four_metric_figure(s: &Suite, base: RunKind, other: RunKind) {
+    four_metric_header();
+    let mut rows = Vec::new();
+    for (name, b, o) in sweep_pair(s, base, other) {
+        let imp = Improvement::between(&b, &o);
+        four_metric_row(&name, &imp);
+        rows.push(imp);
+    }
+    four_metric_avg(&rows);
+}
+
+/// The three-configuration exec-saving figure shape (Figures 19–21, 24):
+/// one column per suite (all over the same app list), one row per app,
+/// plus the average row. Each suite's matrix is swept in parallel.
+pub fn exec_saving_figure(suites: &[Suite], labels: &[&str], base: RunKind, other: RunKind) {
+    assert_eq!(suites.len(), labels.len());
+    print!("{:<11}", "app");
+    for l in labels {
+        print!(" {:>8}", l);
+    }
+    println!();
+    let cols: Vec<Vec<f64>> = suites
+        .iter()
+        .map(|s| {
+            sweep_pair(s, base, other)
+                .iter()
+                .map(|(_, b, o)| exec_saving(b, o))
+                .collect()
+        })
+        .collect();
+    let napps = suites[0].apps().len();
+    let mut avgs = vec![0.0f64; suites.len()];
+    for i in 0..napps {
+        print!("{:<11}", suites[0].apps()[i].name());
+        for (c, col) in cols.iter().enumerate() {
+            print!(" {:>7.1}%", col[i]);
+            avgs[c] += col[i];
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(11 + 9 * suites.len()));
+    print!("{:<11}", "AVERAGE");
+    for a in &avgs {
+        print!(" {:>7.1}%", a / napps.max(1) as f64);
+    }
+    println!();
+}
+
 /// Execution-time reduction of `opt` over `base` as a percentage.
 pub fn exec_saving(base: &RunStats, opt: &RunStats) -> f64 {
     RunStats::reduction(opt.exec_cycles as f64, base.exec_cycles as f64) * 100.0
@@ -89,6 +179,27 @@ pub fn exec_saving(base: &RunStats, opt: &RunStats) -> f64 {
 pub fn bar(value: f64, scale: f64) -> String {
     let n = ((value * scale).round().max(0.0) as usize).min(60);
     "#".repeat(n)
+}
+
+/// Times a kernel: warms it up, then reports mean ns/call over enough
+/// iterations for a stable figure. The return value is consumed with
+/// `std::hint::black_box` so the call is not optimized away.
+pub fn time_kernel<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm up and size the batch so the timed region is ≥ ~20 ms.
+    let mut iters: u64 = 8;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 20 || iters >= 1 << 24 {
+            let per_call = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<28} {per_call:>12.1} ns/call   ({iters} iters)");
+            return;
+        }
+        iters = iters.saturating_mul(4);
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +221,23 @@ mod tests {
     fn bar_clamps() {
         assert_eq!(bar(2.0, 100.0), "#".repeat(60));
         assert_eq!(bar(-1.0, 10.0), "");
+    }
+
+    #[test]
+    fn sweep_kinds_keeps_app_and_kind_order() {
+        // Test-scale subset to keep this fast.
+        let sim = SimConfig::scaled();
+        let mapping = m1(sim.mesh);
+        let apps = vec![
+            hoploc_workloads::swim(Scale::Test),
+            hoploc_workloads::mgrid(Scale::Test),
+        ];
+        let s = Suite::new(apps, mapping, sim);
+        let rows = sweep_kinds(&s, &[RunKind::Baseline, RunKind::Optimized]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0].app, "swim");
+        assert_eq!(rows[0][0].kind, RunKind::Baseline);
+        assert_eq!(rows[0][1].kind, RunKind::Optimized);
+        assert_eq!(rows[1][0].app, "mgrid");
     }
 }

@@ -1,22 +1,30 @@
 //! Property-based tests of the cache and directory invariants.
 
 use hoploc_cache::{CacheConfig, Directory, SetAssocCache};
-use proptest::prelude::*;
+use hoploc_ptest::run_cases;
 use std::collections::HashSet;
 
-proptest! {
-    #[test]
-    fn accessed_line_becomes_resident(lines in proptest::collection::vec(0u64..4096, 1..200)) {
+#[test]
+fn accessed_line_becomes_resident() {
+    run_cases("accessed_line_becomes_resident", 64, |rng| {
+        let lines = rng.vec_u64(1..200, 0..4096);
         let mut c = SetAssocCache::new(CacheConfig::l1_default());
         for &l in &lines {
             c.access(l);
-            prop_assert!(c.contains(l), "line {l} not resident right after access");
+            assert!(c.contains(l), "line {l} not resident right after access");
         }
-    }
+    });
+}
 
-    #[test]
-    fn capacity_is_never_exceeded(lines in proptest::collection::vec(0u64..100_000, 1..400)) {
-        let cfg = CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 };
+#[test]
+fn capacity_is_never_exceeded() {
+    run_cases("capacity_is_never_exceeded", 64, |rng| {
+        let lines = rng.vec_u64(1..400, 0..100_000);
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        };
         let capacity = (cfg.size_bytes / cfg.line_bytes) as usize;
         let mut c = SetAssocCache::new(cfg);
         let mut resident: HashSet<u64> = HashSet::new();
@@ -26,37 +34,47 @@ proptest! {
                 resident.remove(&e);
             }
             resident.insert(l);
-            prop_assert!(resident.len() <= capacity);
+            assert!(resident.len() <= capacity);
         }
         // The model agrees with our shadow set.
         for &l in &resident {
-            prop_assert!(c.contains(l));
+            assert!(c.contains(l));
         }
-    }
+    });
+}
 
-    #[test]
-    fn hits_plus_misses_equals_accesses(lines in proptest::collection::vec(0u64..512, 1..300)) {
+#[test]
+fn hits_plus_misses_equals_accesses() {
+    run_cases("hits_plus_misses_equals_accesses", 64, |rng| {
+        let lines = rng.vec_u64(1..300, 0..512);
         let mut c = SetAssocCache::new(CacheConfig::l2_default());
         for &l in &lines {
             c.access(l);
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses, lines.len() as u64);
-        prop_assert_eq!(s.hits + s.misses(), s.accesses);
-    }
+        assert_eq!(s.accesses, lines.len() as u64);
+        assert_eq!(s.hits + s.misses(), s.accesses);
+    });
+}
 
-    #[test]
-    fn invalidate_removes(line in 0u64..10_000) {
+#[test]
+fn invalidate_removes() {
+    run_cases("invalidate_removes", 64, |rng| {
+        let line = rng.u64_in(0..10_000);
         let mut c = SetAssocCache::new(CacheConfig::l1_default());
         c.access(line);
-        prop_assert!(c.invalidate(line));
-        prop_assert!(!c.contains(line));
-    }
+        assert!(c.invalidate(line));
+        assert!(!c.contains(line));
+    });
+}
 
-    #[test]
-    fn directory_tracks_sharers_exactly(
-        ops in proptest::collection::vec((0u64..64, 0usize..32, proptest::bool::ANY), 1..200)
-    ) {
+#[test]
+fn directory_tracks_sharers_exactly() {
+    run_cases("directory_tracks_sharers_exactly", 64, |rng| {
+        let n_ops = rng.usize_in(1..200);
+        let ops: Vec<(u64, usize, bool)> = (0..n_ops)
+            .map(|_| (rng.u64_in(0..64), rng.usize_in(0..32), rng.flip()))
+            .collect();
         let mut dir = Directory::new();
         let mut shadow: std::collections::HashMap<u64, HashSet<usize>> = Default::default();
         for &(line, node, add) in &ops {
@@ -73,7 +91,7 @@ proptest! {
         for (line, sharers) in &shadow {
             let mut expect: Vec<usize> = sharers.iter().copied().collect();
             expect.sort_unstable();
-            prop_assert_eq!(dir.sharers(*line), expect);
+            assert_eq!(dir.sharers(*line), expect);
         }
-    }
+    });
 }

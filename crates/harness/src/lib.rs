@@ -1,0 +1,495 @@
+//! # hoploc-harness
+//!
+//! The suite harness: one code path that evaluates the full
+//! (application × run-kind) matrix of the PLDI'15 reproduction — for the
+//! integration tests, the figure benches, the `hoploc` binary, and the
+//! examples — in parallel, with memoization of the expensive stages.
+//!
+//! Two content-keyed caches sit under every run:
+//!
+//! * **Layout plans.** [`layout_for`] output per (app, layout class). The
+//!   Baseline, FirstTouch, and Optimal run kinds all use the original
+//!   (baseline) layouts, so one compile serves three run kinds; Optimized
+//!   compiles once and is reused across repeat runs.
+//! * **Trace workloads.** Generated access traces (plus the compiler's
+//!   desired-page map) per (app, layout class). Trace generation walks
+//!   every iteration of every nest and dominates sweep time; Baseline,
+//!   FirstTouch, and Optimal runs of the same app share one generation.
+//!
+//! Parallel execution is *observably deterministic*: results are collected
+//! by spec index, every cached artifact is a pure function of its key, all
+//! per-run randomness is derived from fixed per-thread seeds inside trace
+//! generation, and the memory controller / network / cache models carry no
+//! cross-run state. A [`Suite::run_matrix`] at any `jobs` count is
+//! bit-identical (`RunStats: PartialEq`, including the floating-point link
+//! utilizations) to the sequential path — the integration suite asserts
+//! this against `run_app` itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hoploc_noc::{L2ToMcMapping, McId};
+use hoploc_sim::{AddressSpace, PagePolicy, RunStats, SimConfig, Simulator, TraceWorkload};
+use hoploc_workloads::{layout_for, App, RunKind, TraceGen};
+
+pub use hoploc_workloads::RunKind as Kind;
+
+/// One cell of the run matrix: which app (by index into the suite) and
+/// which side of the comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunSpec {
+    /// Index into [`Suite::apps`].
+    pub app: usize,
+    /// Which run kind to simulate.
+    pub kind: RunKind,
+}
+
+/// A finished run: the spec it came from plus its statistics.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Application name.
+    pub app: String,
+    /// Run kind.
+    pub kind: RunKind,
+    /// Full simulation statistics.
+    pub stats: RunStats,
+}
+
+/// Which compiled layout a run kind uses — the cache key discriminant.
+/// Baseline, FirstTouch, and Optimal all run the original layouts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum LayoutClass {
+    Baseline,
+    Optimized,
+}
+
+impl LayoutClass {
+    fn of(kind: RunKind) -> Self {
+        match kind {
+            RunKind::Optimized => LayoutClass::Optimized,
+            RunKind::Baseline | RunKind::FirstTouch | RunKind::Optimal => LayoutClass::Baseline,
+        }
+    }
+}
+
+/// A compute-once memo table. Concurrent lookups of the same key block on
+/// one computation (via `OnceLock`), so every artifact is built exactly
+/// once per suite regardless of the thread schedule.
+struct Memo<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> Memo<K, V> {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        let cell = {
+            let mut map = self.map.lock().expect("memo poisoned");
+            map.entry(key).or_default().clone()
+        };
+        if cell.get().is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Counted as a miss even when another thread wins the race to
+            // initialize: this thread had to wait for the build either way.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        cell.get_or_init(|| Arc::new(build())).clone()
+    }
+}
+
+/// Everything trace generation produces for one (app, layout class):
+/// the workload plus the compiler's desired-page map (used only by
+/// Optimized runs, empty for baseline layouts).
+struct TraceBundle {
+    workload: TraceWorkload,
+    desired: HashMap<u64, McId>,
+}
+
+/// Cache traffic counters of one suite, for the aggregated report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheCounters {
+    /// Layout-plan cache hits / misses.
+    pub layout_hits: u64,
+    /// Layout-plan cache misses (compiles performed).
+    pub layout_misses: u64,
+    /// Trace cache hits.
+    pub trace_hits: u64,
+    /// Trace cache misses (generations performed).
+    pub trace_misses: u64,
+}
+
+/// A fixed (apps, mapping, config, threads-per-core) context whose run
+/// matrix can be evaluated in parallel with shared caches.
+///
+/// Configurations are part of the key by construction: one `Suite` is one
+/// config, and experiments that sweep configs (mesh sizes, placements,
+/// granularities) build one suite per point.
+pub struct Suite {
+    apps: Vec<App>,
+    mapping: L2ToMcMapping,
+    sim: SimConfig,
+    threads_per_core: usize,
+    layouts: Memo<(usize, LayoutClass), hoploc_layout::ProgramLayout>,
+    traces: Memo<(usize, LayoutClass), TraceBundle>,
+}
+
+impl Suite {
+    /// Creates a suite over `apps` under one mapping and simulator config.
+    pub fn new(apps: Vec<App>, mapping: L2ToMcMapping, sim: SimConfig) -> Self {
+        Self {
+            apps,
+            mapping,
+            sim,
+            threads_per_core: 1,
+            layouts: Memo::new(),
+            traces: Memo::new(),
+        }
+    }
+
+    /// Sets the threads-per-core count (Figure 24). Resets nothing: the
+    /// builder is consumed before any run.
+    pub fn with_threads_per_core(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread per core");
+        self.threads_per_core = threads;
+        self
+    }
+
+    /// The applications in suite order.
+    pub fn apps(&self) -> &[App] {
+        &self.apps
+    }
+
+    /// The L2-to-MC mapping all runs use.
+    pub fn mapping(&self) -> &L2ToMcMapping {
+        &self.mapping
+    }
+
+    /// The simulator configuration all runs use.
+    pub fn sim(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// Builds the full matrix: every app crossed with every given kind,
+    /// apps varying fastest (matching the sequential suite loops).
+    pub fn full_matrix(&self, kinds: &[RunKind]) -> Vec<RunSpec> {
+        let mut specs = Vec::with_capacity(self.apps.len() * kinds.len());
+        for &kind in kinds {
+            for app in 0..self.apps.len() {
+                specs.push(RunSpec { app, kind });
+            }
+        }
+        specs
+    }
+
+    /// The compiled (or original) layout plan for one matrix cell, through
+    /// the layout-plan cache.
+    fn layout(&self, app: usize, class: LayoutClass) -> Arc<hoploc_layout::ProgramLayout> {
+        let kind = match class {
+            LayoutClass::Baseline => RunKind::Baseline,
+            LayoutClass::Optimized => RunKind::Optimized,
+        };
+        self.layouts.get_or((app, class), || {
+            layout_for(&self.apps[app], &self.mapping, &self.sim, kind)
+        })
+    }
+
+    /// The generated trace workload (and desired-page map) for one matrix
+    /// cell, through the trace cache.
+    fn traces(&self, app: usize, class: LayoutClass) -> Arc<TraceBundle> {
+        self.traces.get_or((app, class), || {
+            let layout = self.layout(app, class);
+            let a = &self.apps[app];
+            let space = AddressSpace::build(&a.program, &layout, 0);
+            let desired = match class {
+                LayoutClass::Optimized => {
+                    space.desired_page_mcs(&a.program, &layout, self.sim.page_bytes)
+                }
+                LayoutClass::Baseline => HashMap::new(),
+            };
+            let gen = TraceGen {
+                threads_per_core: self.threads_per_core,
+                ..a.gen
+            };
+            let workload = hoploc_workloads::generate_traces(&a.program, &layout, &space, &gen);
+            TraceBundle { workload, desired }
+        })
+    }
+
+    /// Runs one matrix cell. Pure in the spec: bit-identical to
+    /// `hoploc_workloads::run_app_threads` with the same arguments.
+    pub fn run_one(&self, spec: RunSpec) -> RunStats {
+        let app = &self.apps[spec.app];
+        let class = LayoutClass::of(spec.kind);
+        let bundle = self.traces(spec.app, class);
+        let policy = match spec.kind {
+            RunKind::Optimized => {
+                if bundle.desired.is_empty() {
+                    PagePolicy::Interleaved
+                } else {
+                    PagePolicy::Desired(bundle.desired.clone())
+                }
+            }
+            RunKind::FirstTouch => PagePolicy::FirstTouch,
+            RunKind::Baseline | RunKind::Optimal => PagePolicy::Interleaved,
+        };
+        let mut cfg = self.sim.clone();
+        cfg.optimal = spec.kind == RunKind::Optimal;
+        cfg.mlp = app.mlp;
+        Simulator::new(cfg, self.mapping.clone(), policy).run(&bundle.workload)
+    }
+
+    /// Runs a matrix of specs across `jobs` worker threads and collects
+    /// results **by index**: the output order is the spec order no matter
+    /// how the scheduler interleaves workers, and every record is
+    /// bit-identical to what `jobs = 1` (or the un-cached sequential path)
+    /// produces.
+    pub fn run_matrix(&self, specs: &[RunSpec], jobs: usize) -> Vec<RunRecord> {
+        let jobs = jobs.clamp(1, specs.len().max(1));
+        let slots: Vec<OnceLock<RunStats>> = specs.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let stats = self.run_one(*spec);
+                    slots[i].set(stats).expect("spec index claimed twice");
+                });
+            }
+        });
+        specs
+            .iter()
+            .zip(slots)
+            .map(|(spec, slot)| RunRecord {
+                app: self.apps[spec.app].name().to_string(),
+                kind: spec.kind,
+                stats: slot.into_inner().expect("worker died before finishing"),
+            })
+            .collect()
+    }
+
+    /// Convenience: run the full (apps × kinds) matrix.
+    pub fn run_full(&self, kinds: &[RunKind], jobs: usize) -> Vec<RunRecord> {
+        self.run_matrix(&self.full_matrix(kinds), jobs)
+    }
+
+    /// Cache counters accumulated so far.
+    pub fn cache_counters(&self) -> CacheCounters {
+        CacheCounters {
+            layout_hits: self.layouts.hits.load(Ordering::Relaxed),
+            layout_misses: self.layouts.misses.load(Ordering::Relaxed),
+            trace_hits: self.traces.hits.load(Ordering::Relaxed),
+            trace_misses: self.traces.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A sensible default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Lower-case display name of a run kind (stable across `Debug` changes).
+pub fn kind_name(kind: RunKind) -> &'static str {
+    match kind {
+        RunKind::Baseline => "baseline",
+        RunKind::Optimized => "optimized",
+        RunKind::FirstTouch => "first-touch",
+        RunKind::Optimal => "optimal",
+    }
+}
+
+/// Renders the aggregated per-run statistics table every harness consumer
+/// prints: one row per record, in spec order.
+pub fn render_table(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<11} {:<12} {:>12} {:>12} {:>10} {:>9} {:>10}",
+        "app", "kind", "exec cycles", "accesses", "off-chip", "avg hops", "mem lat"
+    );
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{:<11} {:<12} {:>12} {:>12} {:>10} {:>9.2} {:>10.1}",
+            r.app,
+            kind_name(r.kind),
+            r.stats.exec_cycles,
+            r.stats.total_accesses,
+            r.stats.offchip_accesses,
+            r.stats.net.off_chip.avg_hops(),
+            r.stats.memory_latency(),
+        );
+    }
+    out
+}
+
+/// Serializes run records (plus optional cache counters) as a JSON
+/// document — the machine-readable summary `BENCH_*.json` trajectories
+/// are built from. Hand-rolled: the workspace has no serde and builds
+/// offline.
+pub fn to_json(records: &[RunRecord], counters: Option<CacheCounters>) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let s = &r.stats;
+        let _ = write!(
+            out,
+            "    {{\"app\": {}, \"kind\": \"{}\", \"exec_cycles\": {}, \
+             \"total_accesses\": {}, \"l1_hits\": {}, \"l2_hits\": {}, \
+             \"cache_to_cache\": {}, \"offchip_accesses\": {}, \
+             \"offchip_fraction\": {:.6}, \"avg_offchip_hops\": {:.6}, \
+             \"onchip_net_latency\": {:.6}, \"offchip_net_latency\": {:.6}, \
+             \"memory_latency\": {:.6}, \"os_fallbacks\": {}}}",
+            json_string(&r.app),
+            kind_name(r.kind),
+            s.exec_cycles,
+            s.total_accesses,
+            s.l1_hits,
+            s.l2_hits,
+            s.cache_to_cache,
+            s.offchip_accesses,
+            s.offchip_fraction(),
+            s.net.off_chip.avg_hops(),
+            s.onchip_net_latency(),
+            s.offchip_net_latency(),
+            s.memory_latency(),
+            s.os_fallbacks,
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    if let Some(c) = counters {
+        let _ = write!(
+            out,
+            ",\n  \"cache\": {{\"layout_hits\": {}, \"layout_misses\": {}, \
+             \"trace_hits\": {}, \"trace_misses\": {}}}",
+            c.layout_hits, c.layout_misses, c.trace_hits, c.trace_misses
+        );
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoploc_noc::Mesh;
+    use hoploc_workloads::{mgrid, run_app, swim, Scale};
+
+    fn suite2() -> Suite {
+        let sim = SimConfig::scaled();
+        let mapping = L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &sim.placement);
+        Suite::new(vec![swim(Scale::Test), mgrid(Scale::Test)], mapping, sim)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_run_app() {
+        let s = suite2();
+        let kinds = [
+            RunKind::Baseline,
+            RunKind::Optimized,
+            RunKind::FirstTouch,
+            RunKind::Optimal,
+        ];
+        let specs = s.full_matrix(&kinds);
+        let par = s.run_matrix(&specs, 4);
+        let seq = s.run_matrix(&specs, 1);
+        for ((p, q), spec) in par.iter().zip(&seq).zip(&specs) {
+            assert_eq!(p.stats, q.stats, "jobs=4 diverged from jobs=1 on {spec:?}");
+            let direct = run_app(&s.apps()[spec.app], s.mapping(), s.sim(), spec.kind);
+            assert_eq!(p.stats, direct, "harness diverged from run_app on {spec:?}");
+        }
+    }
+
+    #[test]
+    fn caches_share_baseline_class_work() {
+        let s = suite2();
+        let kinds = [RunKind::Baseline, RunKind::FirstTouch, RunKind::Optimal];
+        s.run_full(&kinds, 2);
+        let c = s.cache_counters();
+        // 2 apps × 1 baseline layout class: exactly 2 trace generations
+        // serve all 6 runs.
+        assert_eq!(c.trace_misses, 2, "{c:?}");
+        assert_eq!(c.trace_hits, 4, "{c:?}");
+    }
+
+    #[test]
+    fn records_keep_spec_order() {
+        let s = suite2();
+        let specs = vec![
+            RunSpec {
+                app: 1,
+                kind: RunKind::Optimized,
+            },
+            RunSpec {
+                app: 0,
+                kind: RunKind::Baseline,
+            },
+        ];
+        let recs = s.run_matrix(&specs, 8);
+        assert_eq!(recs[0].app, "mgrid");
+        assert_eq!(recs[1].app, "swim");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let s = suite2();
+        let recs = s.run_matrix(
+            &[RunSpec {
+                app: 0,
+                kind: RunKind::Baseline,
+            }],
+            1,
+        );
+        let j = to_json(&recs, Some(s.cache_counters()));
+        assert!(j.starts_with("{\n"));
+        assert!(j.contains("\"app\": \"swim\""));
+        assert!(j.contains("\"kind\": \"baseline\""));
+        assert!(j.contains("\"cache\""));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -4,7 +4,7 @@
 use hoploc_affine::{AffineAccess, ArrayDecl, ArrayRef, Loop, LoopNest, Program, Statement};
 use hoploc_layout::{optimize_program, Granularity, L2Mode, PassConfig, SharedPolicy};
 use hoploc_noc::{L2ToMcMapping, McId, McPlacement, Mesh};
-use proptest::prelude::*;
+use hoploc_ptest::run_cases;
 use std::collections::HashSet;
 
 fn build_program(d0: i64, d1: i64) -> Program {
@@ -31,64 +31,63 @@ fn mappings() -> Vec<L2ToMcMapping> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn private_placement_is_a_bounded_bijection(
-        d0 in 64i64..320,
-        d1 in 8i64..64,
-        mapping_idx in 0usize..3,
-    ) {
+#[test]
+fn private_placement_is_a_bounded_bijection() {
+    run_cases("private_placement_is_a_bounded_bijection", 24, |rng| {
+        let d0 = rng.i64_in(64..320);
+        let d1 = rng.i64_in(8..64);
         let p = build_program(d0, d1);
-        let mapping = &mappings()[mapping_idx];
+        let mapping = &mappings()[rng.usize_in(0..3)];
         let out = optimize_program(&p, mapping, PassConfig::default());
         let l = out.layout(hoploc_affine::ArrayId(0));
         let mut seen = HashSet::new();
         for a0 in 0..d0 {
             for a1 in 0..d1 {
                 let off = l.place(&[a0, a1]);
-                prop_assert!(off >= 0 && off < l.span_elements(),
-                    "offset {off} outside span {}", l.span_elements());
-                prop_assert!(seen.insert(off), "collision at ({a0},{a1})");
+                assert!(
+                    off >= 0 && off < l.span_elements(),
+                    "offset {off} outside span {}",
+                    l.span_elements()
+                );
+                assert!(seen.insert(off), "collision at ({a0},{a1})");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn private_units_go_to_owner_cluster(
-        d0 in 64i64..256,
-        d1 in 8i64..48,
-        mapping_idx in 0usize..3,
-    ) {
+#[test]
+fn private_units_go_to_owner_cluster() {
+    run_cases("private_units_go_to_owner_cluster", 24, |rng| {
+        let d0 = rng.i64_in(64..256);
+        let d1 = rng.i64_in(8..48);
         let p = build_program(d0, d1);
-        let mapping = &mappings()[mapping_idx];
+        let mapping = &mappings()[rng.usize_in(0..3)];
         let out = optimize_program(&p, mapping, PassConfig::default());
         let l = out.layout(hoploc_affine::ArrayId(0));
         let pe = l.unit_elems();
-        prop_assert!(pe > 0);
+        assert!(pe > 0);
         for a0 in (0..d0).step_by(11) {
             for a1 in (0..d1).step_by(5) {
                 let owner = l.owner_thread(&[a0, a1]).expect("localized");
                 let node = out.binding().node_of(owner);
                 let unit = l.place(&[a0, a1]) / pe;
                 let mc = McId((unit % mapping.num_mcs() as i64) as u16);
-                prop_assert!(mapping.mcs_of_node(node).contains(&mc));
+                assert!(mapping.mcs_of_node(node).contains(&mc));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn shared_placement_is_a_bounded_bijection(
-        d0 in 64i64..256,
-        d1 in 8i64..48,
-        offchip_first in proptest::bool::ANY,
-    ) {
+#[test]
+fn shared_placement_is_a_bounded_bijection() {
+    run_cases("shared_placement_is_a_bounded_bijection", 24, |rng| {
+        let d0 = rng.i64_in(64..256);
+        let d1 = rng.i64_in(8..48);
         let p = build_program(d0, d1);
         let mapping = &mappings()[0];
         let cfg = PassConfig {
             l2_mode: L2Mode::Shared,
-            shared_policy: if offchip_first {
+            shared_policy: if rng.flip() {
                 SharedPolicy::OffChipFirst
             } else {
                 SharedPolicy::OnChipFirst
@@ -101,36 +100,52 @@ proptest! {
         for a0 in 0..d0 {
             for a1 in 0..d1 {
                 let off = l.place(&[a0, a1]);
-                prop_assert!(off >= 0 && off < l.span_elements());
-                prop_assert!(seen.insert(off));
+                assert!(off >= 0 && off < l.span_elements());
+                assert!(seen.insert(off));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn page_units_have_valid_desired_mcs(d0 in 64i64..256, d1 in 8i64..48) {
+#[test]
+fn page_units_have_valid_desired_mcs() {
+    run_cases("page_units_have_valid_desired_mcs", 24, |rng| {
+        let d0 = rng.i64_in(64..256);
+        let d1 = rng.i64_in(8..48);
         let p = build_program(d0, d1);
         let mapping = &mappings()[0];
-        let cfg = PassConfig { granularity: Granularity::Page, ..PassConfig::default() };
+        let cfg = PassConfig {
+            granularity: Granularity::Page,
+            ..PassConfig::default()
+        };
         let out = optimize_program(&p, mapping, cfg);
         let l = out.layout(hoploc_affine::ArrayId(0));
         let units = l.span_elements() / l.unit_elems();
         for u in 0..units {
-            let mc = l.desired_unit_mc(u).expect("localized layout has preferences");
-            prop_assert!((mc.0 as usize) < mapping.num_mcs());
+            let mc = l
+                .desired_unit_mc(u)
+                .expect("localized layout has preferences");
+            assert!((mc.0 as usize) < mapping.num_mcs());
         }
-    }
+    });
+}
 
-    #[test]
-    fn padding_overhead_is_bounded(d0 in 64i64..512, d1 in 8i64..64) {
+#[test]
+fn padding_overhead_is_bounded() {
+    run_cases("padding_overhead_is_bounded", 24, |rng| {
+        let d0 = rng.i64_in(64..512);
+        let d1 = rng.i64_in(8..64);
         let p = build_program(d0, d1);
         let mapping = &mappings()[0];
         let out = optimize_program(&p, mapping, PassConfig::default());
         let l = out.layout(hoploc_affine::ArrayId(0));
         let raw = d0 * d1;
-        prop_assert!(l.span_elements() >= raw);
+        assert!(l.span_elements() >= raw);
         // Padding should never triple the array.
-        prop_assert!(l.span_elements() <= raw * 3,
-            "span {} too large for raw {raw}", l.span_elements());
-    }
+        assert!(
+            l.span_elements() <= raw * 3,
+            "span {} too large for raw {raw}",
+            l.span_elements()
+        );
+    });
 }

@@ -2,16 +2,20 @@
 //! and timing invariants under arbitrary request streams.
 
 use hoploc_mem::{McConfig, MemoryController};
-use proptest::prelude::*;
+use hoploc_ptest::{run_cases, SmallRng};
 
-/// Strategy: a stream of (address, inter-arrival gap) pairs.
-fn stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    proptest::collection::vec((0u64..1 << 20, 0u64..200), 1..120)
+/// A stream of (address, inter-arrival gap) pairs.
+fn stream(rng: &mut SmallRng) -> Vec<(u64, u64)> {
+    let n = rng.usize_in(1..120);
+    (0..n)
+        .map(|_| (rng.u64_in(0..1 << 20), rng.u64_in(0..200)))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn every_request_completes_exactly_once(reqs in stream()) {
+#[test]
+fn every_request_completes_exactly_once() {
+    run_cases("every_request_completes_exactly_once", 128, |rng| {
+        let reqs = stream(rng);
         let mut mc = MemoryController::new(McConfig::default());
         let mut now = 0;
         let mut tokens = Vec::new();
@@ -22,11 +26,14 @@ proptest! {
         tokens.extend(mc.flush().into_iter().map(|c| c.token));
         tokens.sort_unstable();
         let expect: Vec<u64> = (0..reqs.len() as u64).collect();
-        prop_assert_eq!(tokens, expect);
-    }
+        assert_eq!(tokens, expect);
+    });
+}
 
-    #[test]
-    fn completions_never_precede_service(reqs in stream()) {
+#[test]
+fn completions_never_precede_service() {
+    run_cases("completions_never_precede_service", 128, |rng| {
+        let reqs = stream(rng);
         let mut mc = MemoryController::new(McConfig::default());
         let timing = *mc.config();
         let min_service = timing.timing.row_hit_cycles + timing.timing.burst_cycles;
@@ -41,15 +48,23 @@ proptest! {
         done.extend(mc.flush());
         for c in done {
             let arrival = arrivals[&c.token];
-            prop_assert!(c.finish >= arrival + min_service,
+            assert!(
+                c.finish >= arrival + min_service,
                 "token {} finished {} < arrival {} + min {}",
-                c.token, c.finish, arrival, min_service);
-            prop_assert_eq!(arrival + c.queue_cycles + c.service_cycles, c.finish);
+                c.token,
+                c.finish,
+                arrival,
+                min_service
+            );
+            assert_eq!(arrival + c.queue_cycles + c.service_cycles, c.finish);
         }
-    }
+    });
+}
 
-    #[test]
-    fn stats_are_consistent(reqs in stream()) {
+#[test]
+fn stats_are_consistent() {
+    run_cases("stats_are_consistent", 128, |rng| {
+        let reqs = stream(rng);
         let mut mc = MemoryController::new(McConfig::default());
         let mut now = 0;
         for (i, &(addr, gap)) in reqs.iter().enumerate() {
@@ -58,28 +73,37 @@ proptest! {
         }
         mc.flush();
         let s = mc.stats();
-        prop_assert_eq!(s.served, reqs.len() as u64);
-        prop_assert!(s.row_hits <= s.served);
-        prop_assert!(s.avg_memory_latency() >= 0.0);
-    }
+        assert_eq!(s.served, reqs.len() as u64);
+        assert!(s.row_hits <= s.served);
+        assert!(s.avg_memory_latency() >= 0.0);
+    });
+}
 
-    #[test]
-    fn ideal_mode_is_flat_and_instant(reqs in stream()) {
-        let mut mc = MemoryController::new(McConfig { ideal: true, ..McConfig::default() });
+#[test]
+fn ideal_mode_is_flat_and_instant() {
+    run_cases("ideal_mode_is_flat_and_instant", 128, |rng| {
+        let reqs = stream(rng);
+        let mut mc = MemoryController::new(McConfig {
+            ideal: true,
+            ..McConfig::default()
+        });
         let mut now = 0;
         for (i, &(addr, gap)) in reqs.iter().enumerate() {
             now += gap;
             let done = mc.enqueue(addr, i as u64, now);
-            prop_assert_eq!(done.len(), 1);
-            prop_assert_eq!(done[0].queue_cycles, 0);
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].queue_cycles, 0);
         }
-        prop_assert!(mc.flush().is_empty());
-    }
+        assert!(mc.flush().is_empty());
+    });
+}
 
-    #[test]
-    fn poll_makes_progress(reqs in stream()) {
+#[test]
+fn poll_makes_progress() {
+    run_cases("poll_makes_progress", 128, |rng| {
         // Whatever is pending must become serviceable by its earliest
         // start time — polls never deadlock.
+        let reqs = stream(rng);
         let mut mc = MemoryController::new(McConfig::default());
         let mut now = 0;
         let mut completed = 0usize;
@@ -91,8 +115,8 @@ proptest! {
         while let Some(t) = mc.earliest_pending_start() {
             completed += mc.poll(t + 1).len();
             guard += 1;
-            prop_assert!(guard < 10_000, "poll loop failed to converge");
+            assert!(guard < 10_000, "poll loop failed to converge");
         }
-        prop_assert_eq!(completed, reqs.len());
-    }
+        assert_eq!(completed, reqs.len());
+    });
 }

@@ -26,7 +26,7 @@ pub enum TrafficClass {
 pub const MAX_HOPS: usize = 32;
 
 /// Per-class accumulated network statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct ClassStats {
     /// Messages sent.
     pub messages: u64,
@@ -80,7 +80,7 @@ impl ClassStats {
 }
 
 /// Network-wide statistics, split by [`TrafficClass`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct NetStats {
     /// On-chip (cache / coherence) traffic.
     pub on_chip: ClassStats,

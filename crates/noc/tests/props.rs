@@ -1,95 +1,114 @@
 //! Property-based tests of mesh geometry and the contention model.
 
 use hoploc_noc::{L2ToMcMapping, McPlacement, Mesh, Network, NocConfig, NodeId, TrafficClass};
-use proptest::prelude::*;
+use hoploc_ptest::run_cases;
 
-proptest! {
-    #[test]
-    fn route_length_equals_distance(
-        w in 2u16..10, h in 2u16..10,
-        a in 0u16..100, b in 0u16..100,
-    ) {
-        let mesh = Mesh::new(w, h);
+#[test]
+fn route_length_equals_distance() {
+    run_cases("route_length_equals_distance", 128, |rng| {
+        let mesh = Mesh::new(rng.u16_in(2..10), rng.u16_in(2..10));
         let n = mesh.num_nodes() as u16;
-        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        let (a, b) = (
+            NodeId(rng.u16_in(0..100) % n),
+            NodeId(rng.u16_in(0..100) % n),
+        );
         let route = mesh.xy_route(a, b);
-        prop_assert_eq!(route.len() as u32, mesh.hop_distance(a, b));
+        assert_eq!(route.len() as u32, mesh.hop_distance(a, b));
         // Every step in the route is between adjacent nodes.
         let mut prev = a;
         for &next in &route {
-            prop_assert_eq!(mesh.hop_distance(prev, next), 1);
+            assert_eq!(mesh.hop_distance(prev, next), 1);
             prev = next;
         }
         if !route.is_empty() {
-            prop_assert_eq!(*route.last().unwrap(), b);
+            assert_eq!(*route.last().unwrap(), b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn distance_is_a_metric(
-        a in 0u16..64, b in 0u16..64, c in 0u16..64,
-    ) {
+#[test]
+fn distance_is_a_metric() {
+    run_cases("distance_is_a_metric", 256, |rng| {
         let mesh = Mesh::new(8, 8);
-        let (a, b, c) = (NodeId(a), NodeId(b), NodeId(c));
-        prop_assert_eq!(mesh.hop_distance(a, b), mesh.hop_distance(b, a));
-        prop_assert_eq!(mesh.hop_distance(a, a), 0);
-        prop_assert!(
-            mesh.hop_distance(a, c) <= mesh.hop_distance(a, b) + mesh.hop_distance(b, c)
+        let (a, b, c) = (
+            NodeId(rng.u16_in(0..64)),
+            NodeId(rng.u16_in(0..64)),
+            NodeId(rng.u16_in(0..64)),
         );
-    }
+        assert_eq!(mesh.hop_distance(a, b), mesh.hop_distance(b, a));
+        assert_eq!(mesh.hop_distance(a, a), 0);
+        assert!(mesh.hop_distance(a, c) <= mesh.hop_distance(a, b) + mesh.hop_distance(b, c));
+    });
+}
 
-    #[test]
-    fn send_latency_at_least_uncontended(
-        src in 0u16..64, dst in 0u16..64,
-        bytes in 1u32..512,
-        warmups in 0usize..20,
-    ) {
+#[test]
+fn send_latency_at_least_uncontended() {
+    run_cases("send_latency_at_least_uncontended", 128, |rng| {
         let mesh = Mesh::new(8, 8);
         let mut net = Network::new(mesh, NocConfig::default());
+        let warmups = rng.usize_in(0..20);
         for k in 0..warmups {
-            net.send(NodeId((k % 64) as u16), NodeId(((k * 7) % 64) as u16), 256,
-                TrafficClass::OnChip, 0);
+            net.send(
+                NodeId((k % 64) as u16),
+                NodeId(((k * 7) % 64) as u16),
+                256,
+                TrafficClass::OnChip,
+                0,
+            );
         }
-        let (src, dst) = (NodeId(src), NodeId(dst));
+        let (src, dst) = (NodeId(rng.u16_in(0..64)), NodeId(rng.u16_in(0..64)));
+        let bytes = rng.u32_in(1..512);
         let arrival = net.send(src, dst, bytes, TrafficClass::OffChip, 100);
-        prop_assert!(arrival >= 100 + net.uncontended_latency(src, dst));
-    }
+        assert!(arrival >= 100 + net.uncontended_latency(src, dst));
+    });
+}
 
-    #[test]
-    fn histogram_totals_match_message_count(
-        sends in proptest::collection::vec((0u16..64, 0u16..64), 1..40),
-    ) {
+#[test]
+fn histogram_totals_match_message_count() {
+    run_cases("histogram_totals_match_message_count", 128, |rng| {
+        let n_sends = rng.usize_in(1..40);
+        let sends: Vec<(u16, u16)> = (0..n_sends)
+            .map(|_| (rng.u16_in(0..64), rng.u16_in(0..64)))
+            .collect();
         let mut net = Network::new(Mesh::new(8, 8), NocConfig::default());
         for &(s, d) in &sends {
             net.send(NodeId(s), NodeId(d), 8, TrafficClass::OffChip, 0);
         }
         let stats = net.stats();
-        prop_assert_eq!(
+        assert_eq!(
             stats.off_chip.hop_histogram.iter().sum::<u64>(),
             sends.len() as u64
         );
-        prop_assert_eq!(stats.off_chip.messages, sends.len() as u64);
-    }
+        assert_eq!(stats.off_chip.messages, sends.len() as u64);
+    });
+}
 
-    #[test]
-    fn nearest_mc_minimizes_distance(node in 0u16..64, which in 0usize..3) {
+#[test]
+fn nearest_mc_minimizes_distance() {
+    run_cases("nearest_mc_minimizes_distance", 192, |rng| {
         let mesh = Mesh::new(8, 8);
-        let placements = [McPlacement::Corners, McPlacement::EdgeMidpoints, McPlacement::Diagonal];
-        let mapping = L2ToMcMapping::nearest_cluster(mesh, &placements[which]);
-        let n = NodeId(node);
+        let placements = [
+            McPlacement::Corners,
+            McPlacement::EdgeMidpoints,
+            McPlacement::Diagonal,
+        ];
+        let mapping = L2ToMcMapping::nearest_cluster(mesh, &placements[rng.usize_in(0..3)]);
+        let n = NodeId(rng.u16_in(0..64));
         let nearest = mapping.nearest_mc(n);
         let d = mesh.hop_distance(n, mapping.mc_node(nearest));
         for mc in 0..mapping.num_mcs() {
-            prop_assert!(d <= mesh.hop_distance(n, mapping.mc_node(hoploc_noc::McId(mc as u16))));
+            assert!(d <= mesh.hop_distance(n, mapping.mc_node(hoploc_noc::McId(mc as u16))));
         }
-    }
+    });
+}
 
-    #[test]
-    fn every_node_belongs_to_exactly_one_cluster(node in 0u16..64) {
+#[test]
+fn every_node_belongs_to_exactly_one_cluster() {
+    run_cases("every_node_belongs_to_exactly_one_cluster", 64, |rng| {
         let mesh = Mesh::new(8, 8);
         let mapping = L2ToMcMapping::nearest_cluster(mesh, &McPlacement::Corners);
-        let c = mapping.cluster_of(NodeId(node));
-        prop_assert!((c.0 as usize) < mapping.num_clusters());
-        prop_assert!(!mapping.cluster_mcs(c).is_empty());
-    }
+        let c = mapping.cluster_of(NodeId(rng.u16_in(0..64)));
+        assert!((c.0 as usize) < mapping.num_clusters());
+        assert!(!mapping.cluster_mcs(c).is_empty());
+    });
 }

@@ -4,7 +4,12 @@ use hoploc_mem::McStats;
 use hoploc_noc::NetStats;
 
 /// Statistics of one simulation run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field bit-for-bit (including the `f64` link
+/// utilizations): two runs compare equal only when they are observably
+/// identical, which is what the harness's sequential-vs-parallel
+/// determinism guarantee is stated in terms of.
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunStats {
     /// Execution time: the cycle at which the last thread finished.
     pub exec_cycles: u64,

@@ -4,9 +4,9 @@
 use hoploc_affine::{AffineAccess, ArrayDecl, ArrayRef, Loop, LoopNest, Program, Statement};
 use hoploc_layout::{baseline_layout, optimize_program, PassConfig};
 use hoploc_noc::{L2ToMcMapping, McPlacement, Mesh};
+use hoploc_ptest::run_cases;
 use hoploc_sim::AddressSpace;
 use hoploc_workloads::{all_apps, generate_traces, Scale, TraceGen};
-use proptest::prelude::*;
 
 fn program(d0: i64, d1: i64) -> Program {
     let mut p = Program::new("prop");
@@ -23,14 +23,14 @@ fn program(d0: i64, d1: i64) -> Program {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn work_is_layout_independent(d0 in 64i64..256, d1 in 8i64..48) {
+#[test]
+fn work_is_layout_independent() {
+    run_cases("work_is_layout_independent", 16, |rng| {
         // The same program generates the same number of accesses whether
         // layouts are original or transformed — data transformations are
         // renamings (§1).
+        let d0 = rng.i64_in(64..256);
+        let d1 = rng.i64_in(8..48);
         let p = program(d0, d1);
         let mapping = L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &McPlacement::Corners);
         let gen = TraceGen::default();
@@ -43,22 +43,30 @@ proptest! {
         let ospace = AddressSpace::build(&p, &opt, 0);
         let ow = generate_traces(&p, &opt, &ospace, &gen);
 
-        prop_assert_eq!(bw.total_accesses(), ow.total_accesses());
-        prop_assert_eq!(bw.total_accesses(), (d0 * d1) as u64);
-    }
+        assert_eq!(bw.total_accesses(), ow.total_accesses());
+        assert_eq!(bw.total_accesses(), (d0 * d1) as u64);
+    });
+}
 
-    #[test]
-    fn traces_are_deterministic(d0 in 64i64..128, d1 in 8i64..32) {
+#[test]
+fn traces_are_deterministic() {
+    run_cases("traces_are_deterministic", 16, |rng| {
+        let d0 = rng.i64_in(64..128);
+        let d1 = rng.i64_in(8..32);
         let p = program(d0, d1);
         let layout = baseline_layout(&p, 64);
         let space = AddressSpace::build(&p, &layout, 0);
         let a = generate_traces(&p, &layout, &space, &TraceGen::tuned(2));
         let b = generate_traces(&p, &layout, &space, &TraceGen::tuned(2));
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn addresses_stay_inside_the_address_space(d0 in 64i64..192, d1 in 8i64..32) {
+#[test]
+fn addresses_stay_inside_the_address_space() {
+    run_cases("addresses_stay_inside_the_address_space", 16, |rng| {
+        let d0 = rng.i64_in(64..192);
+        let d1 = rng.i64_in(8..32);
         let p = program(d0, d1);
         let mapping = L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &McPlacement::Corners);
         let layout = optimize_program(&p, &mapping, PassConfig::default());
@@ -66,11 +74,11 @@ proptest! {
         let w = generate_traces(&p, &layout, &space, &TraceGen::default());
         for t in &w.threads {
             for a in &t.accesses {
-                prop_assert!(a.vaddr >= 4096);
-                prop_assert!(a.vaddr < 4096 + space.total_bytes());
+                assert!(a.vaddr >= 4096);
+                assert!(a.vaddr < 4096 + space.total_bytes());
             }
         }
-    }
+    });
 }
 
 #[test]

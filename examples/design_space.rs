@@ -6,10 +6,11 @@
 //! cargo run --release --example design_space
 //! ```
 
+use hoploc::harness::Suite;
 use hoploc::layout::{mapping_cost, select_mapping, Granularity, SelectModel};
 use hoploc::noc::{L2ToMcMapping, McPlacement, Mesh};
 use hoploc::sim::{RunStats, SimConfig};
-use hoploc::workloads::{fma3d, run_app, wupwise, RunKind, Scale};
+use hoploc::workloads::{fma3d, wupwise, RunKind, Scale};
 
 fn main() {
     let mesh = Mesh::new(8, 8);
@@ -44,11 +45,14 @@ fn main() {
     }
 
     println!("\n--- measured: MC placements (Figure 26) ---");
-    let saving = |sim: &SimConfig, mapping: &L2ToMcMapping| -> f64 {
-        let app = wupwise(Scale::Bench);
-        let base = run_app(&app, mapping, sim, RunKind::Baseline);
-        let opt = run_app(&app, mapping, sim, RunKind::Optimized);
-        RunStats::reduction(opt.exec_cycles as f64, base.exec_cycles as f64) * 100.0
+    // One single-app suite per placement; base and optimized run in
+    // parallel inside each.
+    let saving = |suite: &Suite| -> f64 {
+        let recs = suite.run_full(&[RunKind::Baseline, RunKind::Optimized], 2);
+        RunStats::reduction(
+            recs[1].stats.exec_cycles as f64,
+            recs[0].stats.exec_cycles as f64,
+        ) * 100.0
     };
     for (name, placement) in [
         ("P1 corners", McPlacement::Corners),
@@ -61,10 +65,11 @@ fn main() {
             ..SimConfig::scaled()
         };
         let mapping = L2ToMcMapping::nearest_cluster(mesh, &placement);
+        let suite = Suite::new(vec![wupwise(Scale::Bench)], mapping, sim);
         println!(
             "{name:<18} avg distance {:.2} hops, wupwise exec saving {:>5.1}%",
-            mapping.avg_distance_to_mc(),
-            saving(&sim, &mapping)
+            suite.mapping().avg_distance_to_mc(),
+            saving(&suite)
         );
     }
 }

@@ -14,13 +14,18 @@
 //!   --optimal                      run the Section-2 optimal scheme instead
 //!   --threads <n>                  threads per core (default 1)
 //!   --scale <test|bench>           problem size (default bench)
+//!   --jobs <n>                     worker threads for the suite sweep
+//!                                  (default: available parallelism)
+//!   --json <path|->                also write a machine-readable JSON
+//!                                  summary of every run (- for stdout)
 //! ```
 
 use hoploc::affine::parallelization_is_legal;
+use hoploc::harness::{default_jobs, render_table, to_json, RunSpec, Suite};
 use hoploc::layout::{codegen, determine_data_to_core, Granularity, L2Mode};
 use hoploc::noc::{L2ToMcMapping, McPlacement};
 use hoploc::sim::{Improvement, SimConfig};
-use hoploc::workloads::{all_apps, layout_for, run_app_threads, App, RunKind, Scale};
+use hoploc::workloads::{all_apps, layout_for, App, RunKind, Scale};
 use std::process::ExitCode;
 
 struct Options {
@@ -31,6 +36,8 @@ struct Options {
     optimal: bool,
     threads: usize,
     scale: Scale,
+    jobs: usize,
+    json: Option<String>,
 }
 
 impl Options {
@@ -43,6 +50,8 @@ impl Options {
             optimal: false,
             threads: 1,
             scale: Scale::Bench,
+            jobs: default_jobs(),
+            json: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -56,6 +65,17 @@ impl Options {
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
                     o.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                }
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    o.jobs = v.parse().map_err(|_| format!("bad job count {v}"))?;
+                    if o.jobs == 0 {
+                        return Err("--jobs needs at least one worker".into());
+                    }
+                }
+                "--json" => {
+                    let v = it.next().ok_or("--json needs a path (or -)")?;
+                    o.json = Some(v.clone());
                 }
                 "--scale" => match it.next().map(String::as_str) {
                     Some("test") => o.scale = Scale::Test,
@@ -84,6 +104,14 @@ impl Options {
         }
     }
 
+    /// The (single-app or whole-suite) harness all simulation commands run
+    /// through, so baseline-class runs share layouts and traces.
+    fn suite(&self, apps: Vec<App>) -> Suite {
+        let sim = self.sim();
+        let mapping = self.mapping(&sim);
+        Suite::new(apps, mapping, sim).with_threads_per_core(self.threads)
+    }
+
     fn baseline_kind(&self) -> RunKind {
         if self.first_touch {
             RunKind::FirstTouch
@@ -98,6 +126,16 @@ impl Options {
         } else {
             RunKind::Optimized
         }
+    }
+}
+
+/// Writes the JSON summary to the `--json` target (stdout for `-`).
+fn emit_json(target: &str, json: &str) -> Result<(), String> {
+    if target == "-" {
+        print!("{json}");
+        Ok(())
+    } else {
+        std::fs::write(target, json).map_err(|e| format!("writing {target}: {e}"))
     }
 }
 
@@ -183,13 +221,14 @@ fn cmd_compile(app: &App, o: &Options) {
     }
 }
 
-fn cmd_run(app: &App, o: &Options) {
-    let sim = o.sim();
-    let mapping = o.mapping(&sim);
-    let base = run_app_threads(app, &mapping, &sim, o.baseline_kind(), o.threads);
-    let opt = run_app_threads(app, &mapping, &sim, o.optimized_kind(), o.threads);
-    let imp = Improvement::between(&base, &opt);
-    println!("== {} ==", app.name());
+fn cmd_run(app: App, o: &Options) {
+    let name = app.name().to_string();
+    let suite = o.suite(vec![app]);
+    let kinds = [o.baseline_kind(), o.optimized_kind()];
+    let records = suite.run_full(&kinds, o.jobs.min(2));
+    let (base, opt) = (&records[0].stats, &records[1].stats);
+    let imp = Improvement::between(base, opt);
+    println!("== {name} ==");
     println!(
         "{:<22} {:>14} {:>14}",
         "",
@@ -223,18 +262,24 @@ fn cmd_run(app: &App, o: &Options) {
         imp.memory * 100.0,
         imp.exec_time * 100.0
     );
+    if let Some(target) = &o.json {
+        if let Err(e) = emit_json(target, &to_json(&records, Some(suite.cache_counters()))) {
+            eprintln!("error: {e}");
+        }
+    }
 }
 
-fn cmd_links(app: &App, o: &Options) {
-    let sim = o.sim();
-    let mapping = o.mapping(&sim);
-    let stats = run_app_threads(app, &mapping, &sim, o.optimized_kind(), o.threads);
+fn cmd_links(app: App, o: &Options) {
+    let name = app.name().to_string();
+    let suite = o.suite(vec![app]);
+    let stats = suite.run_one(RunSpec {
+        app: 0,
+        kind: o.optimized_kind(),
+    });
+    let sim = suite.sim();
     let width = sim.mesh.width() as usize;
     let util = &stats.link_utilization;
-    println!(
-        "== {} : per-node max outgoing-link utilization ==",
-        app.name()
-    );
+    println!("== {name} : per-node max outgoing-link utilization ==");
     for y in 0..sim.mesh.height() as usize {
         for x in 0..width {
             let n = y * width + x;
@@ -253,24 +298,39 @@ fn cmd_links(app: &App, o: &Options) {
 }
 
 fn cmd_sweep(o: &Options) {
-    let sim = o.sim();
-    let mapping = o.mapping(&sim);
+    let suite = o.suite(all_apps(o.scale));
+    let kinds = [o.baseline_kind(), o.optimized_kind()];
+    let records = suite.run_full(&kinds, o.jobs);
+    let napps = suite.apps().len();
     println!(
         "{:<11} {:>9} {:>9} {:>9} {:>9}",
         "app", "on-net", "off-net", "memory", "exec"
     );
-    for app in all_apps(o.scale) {
-        let base = run_app_threads(&app, &mapping, &sim, o.baseline_kind(), o.threads);
-        let opt = run_app_threads(&app, &mapping, &sim, o.optimized_kind(), o.threads);
-        let imp = Improvement::between(&base, &opt);
+    for i in 0..napps {
+        // run_full orders kinds outermost, apps innermost.
+        let base = &records[i].stats;
+        let opt = &records[napps + i].stats;
+        let imp = Improvement::between(base, opt);
         println!(
             "{:<11} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
-            app.name(),
+            records[i].app,
             imp.onchip_net * 100.0,
             imp.offchip_net * 100.0,
             imp.memory * 100.0,
             imp.exec_time * 100.0
         );
+    }
+    let c = suite.cache_counters();
+    println!("\nper-run statistics ({} workers):", o.jobs);
+    print!("{}", render_table(&records));
+    println!(
+        "caches: {} layout compiles ({} reused), {} trace generations ({} reused)",
+        c.layout_misses, c.layout_hits, c.trace_misses, c.trace_hits
+    );
+    if let Some(target) = &o.json {
+        if let Err(e) = emit_json(target, &to_json(&records, Some(c))) {
+            eprintln!("error: {e}");
+        }
     }
 }
 
@@ -307,8 +367,8 @@ fn main() -> ExitCode {
             };
             match cmd.as_str() {
                 "compile" => cmd_compile(&app, &opts),
-                "links" => cmd_links(&app, &opts),
-                _ => cmd_run(&app, &opts),
+                "links" => cmd_links(app, &opts),
+                _ => cmd_run(app, &opts),
             }
         }
         "sweep" => cmd_sweep(&opts),

@@ -17,15 +17,19 @@
 //! * [`sim`] — the full-system simulator (cores, OS page allocation,
 //!   translation, statistics);
 //! * [`workloads`] — the paper's 13 SPEC-OMP/Mantevo applications modelled
-//!   as parameterized affine programs.
+//!   as parameterized affine programs;
+//! * [`harness`] — the parallel, memoizing suite harness that fans the
+//!   (app × run-kind) matrix across threads with bit-identical results.
 //!
 //! See `examples/quickstart.rs` for the fastest way to run an optimized
-//! vs. baseline comparison.
+//! vs. baseline comparison, and `hoploc sweep --jobs N` for the parallel
+//! suite sweep.
 
 #![forbid(unsafe_code)]
 
 pub use hoploc_affine as affine;
 pub use hoploc_cache as cache;
+pub use hoploc_harness as harness;
 pub use hoploc_layout as layout;
 pub use hoploc_mem as mem;
 pub use hoploc_noc as noc;

@@ -1,10 +1,19 @@
 //! End-to-end integration tests: the full compile → place → trace →
-//! simulate pipeline over the 13-application suite (test scale).
+//! simulate pipeline over the 13-application suite (test scale), driven
+//! through the parallel suite harness.
+//!
+//! The suite-wide assertions all read from one shared [`Suite`] sweep run
+//! with `default_jobs()` workers, so the integration suite itself exercises
+//! the parallel fan-out and the layout/trace caches; determinism against
+//! the plain sequential `run_app` path is asserted explicitly below.
 
+use hoploc::harness::{default_jobs, RunRecord, RunSpec, Suite};
 use hoploc::layout::Granularity;
 use hoploc::noc::L2ToMcMapping;
 use hoploc::sim::SimConfig;
 use hoploc::workloads::{all_apps, run_app, RunKind, Scale};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 fn setup() -> (SimConfig, L2ToMcMapping) {
     let sim = SimConfig {
@@ -15,12 +24,37 @@ fn setup() -> (SimConfig, L2ToMcMapping) {
     (sim, mapping)
 }
 
+/// The kinds the shared sweep covers, in record order (kinds outermost).
+const SWEEP_KINDS: [RunKind; 3] = [RunKind::Baseline, RunKind::Optimized, RunKind::Optimal];
+
+/// One parallel sweep of the whole test-scale suite, shared by every test
+/// that only reads run statistics.
+fn sweep() -> &'static (Suite, Vec<RunRecord>) {
+    static SWEEP: OnceLock<(Suite, Vec<RunRecord>)> = OnceLock::new();
+    SWEEP.get_or_init(|| {
+        let (sim, mapping) = setup();
+        let suite = Suite::new(all_apps(Scale::Test), mapping, sim);
+        let records = suite.run_full(&SWEEP_KINDS, default_jobs());
+        (suite, records)
+    })
+}
+
+/// The shared-sweep record for (kind, app index).
+fn rec(kind: RunKind, app: usize) -> &'static RunRecord {
+    let (suite, records) = sweep();
+    let k = SWEEP_KINDS
+        .iter()
+        .position(|&x| x == kind)
+        .expect("swept kind");
+    &records[k * suite.apps().len() + app]
+}
+
 #[test]
 fn every_app_runs_both_sides_with_identical_work() {
-    let (sim, mapping) = setup();
-    for app in all_apps(Scale::Test) {
-        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
-        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+    let (suite, _) = sweep();
+    for (i, app) in suite.apps().iter().enumerate() {
+        let base = &rec(RunKind::Baseline, i).stats;
+        let opt = &rec(RunKind::Optimized, i).stats;
         assert!(base.total_accesses > 0, "{}: empty run", app.name());
         assert_eq!(
             base.total_accesses,
@@ -40,13 +74,13 @@ fn every_app_runs_both_sides_with_identical_work() {
 fn optimization_localizes_offchip_traffic_suite_wide() {
     // Pooled over the suite, optimized off-chip messages must traverse
     // fewer links — the paper's central mechanism.
-    let (sim, mapping) = setup();
+    let (suite, _) = sweep();
     let mut base_hops = 0.0;
     let mut opt_hops = 0.0;
     let mut n = 0.0;
-    for app in all_apps(Scale::Test) {
-        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
-        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+    for i in 0..suite.apps().len() {
+        let base = &rec(RunKind::Baseline, i).stats;
+        let opt = &rec(RunKind::Optimized, i).stats;
         if base.offchip_accesses > 100 {
             base_hops += base.net.off_chip.avg_hops();
             opt_hops += opt.net.off_chip.avg_hops();
@@ -66,10 +100,10 @@ fn optimization_localizes_offchip_traffic_suite_wide() {
 fn optimal_scheme_is_an_upper_bound_on_localization() {
     // The §2 optimal scheme uses only nearest controllers, so its off-chip
     // hop count lower-bounds any layout's.
-    let (sim, mapping) = setup();
-    for app in all_apps(Scale::Test).into_iter().take(4) {
-        let optimal = run_app(&app, &mapping, &sim, RunKind::Optimal);
-        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
+    let (suite, _) = sweep();
+    for (i, app) in suite.apps().iter().enumerate().take(4) {
+        let optimal = &rec(RunKind::Optimal, i).stats;
+        let opt = &rec(RunKind::Optimized, i).stats;
         if optimal.offchip_accesses > 100 {
             assert!(
                 optimal.net.off_chip.avg_hops() <= opt.net.off_chip.avg_hops() + 0.3,
@@ -90,22 +124,81 @@ fn page_and_cacheline_interleaving_both_work() {
             granularity,
             ..SimConfig::scaled()
         };
-        let app = hoploc::workloads::swim(Scale::Test);
-        let base = run_app(&app, &mapping, &sim, RunKind::Baseline);
-        let opt = run_app(&app, &mapping, &sim, RunKind::Optimized);
-        assert_eq!(base.total_accesses, opt.total_accesses, "{granularity:?}");
+        let suite = Suite::new(
+            vec![hoploc::workloads::swim(Scale::Test)],
+            mapping.clone(),
+            sim,
+        );
+        let recs = suite.run_full(&[RunKind::Baseline, RunKind::Optimized], 2);
+        assert_eq!(
+            recs[0].stats.total_accesses, recs[1].stats.total_accesses,
+            "{granularity:?}"
+        );
     }
 }
 
 #[test]
 fn runs_are_deterministic() {
+    // Repeat runs of one cell are bit-identical...
     let (sim, mapping) = setup();
     let app = hoploc::workloads::mgrid(Scale::Test);
     let a = run_app(&app, &mapping, &sim, RunKind::Optimized);
     let b = run_app(&app, &mapping, &sim, RunKind::Optimized);
-    assert_eq!(a.exec_cycles, b.exec_cycles);
-    assert_eq!(a.offchip_accesses, b.offchip_accesses);
-    assert_eq!(a.node_mc_requests, b.node_mc_requests);
+    assert_eq!(a, b);
+
+    // ...and the parallel shared sweep is bit-identical, record for
+    // record, to a fresh sequential (jobs = 1) evaluation of the same
+    // matrix on a separate Suite instance. `RunStats: PartialEq` compares
+    // every field, including the floating-point link utilizations.
+    let (suite, records) = sweep();
+    let (sim, mapping) = setup();
+    let seq_suite = Suite::new(all_apps(Scale::Test), mapping, sim);
+    let specs = seq_suite.full_matrix(&SWEEP_KINDS);
+    let seq = seq_suite.run_matrix(&specs, 1);
+    assert_eq!(records.len(), seq.len());
+    for ((p, q), spec) in records.iter().zip(&seq).zip(&specs) {
+        assert_eq!(
+            p.stats,
+            q.stats,
+            "parallel sweep diverged from sequential on {} {:?}",
+            suite.apps()[spec.app].name(),
+            spec.kind
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_at_least_twice_as_fast() {
+    // Acceptance check: with ≥ 4 workers the harness sweep (fan-out +
+    // caches, cold start) beats the plain sequential `run_app` loop it
+    // replaced by ≥ 2× on the full test-scale matrix.
+    if default_jobs() < 4 {
+        eprintln!("skipping speedup check: fewer than 4 hardware threads");
+        return;
+    }
+    let (sim, mapping) = setup();
+    let kinds = [RunKind::Baseline, RunKind::Optimized];
+
+    let suite = Suite::new(all_apps(Scale::Test), mapping.clone(), sim.clone());
+    let specs = suite.full_matrix(&kinds);
+    let start = Instant::now();
+    let par = suite.run_matrix(&specs, default_jobs());
+    let par_time = start.elapsed();
+
+    let start = Instant::now();
+    let mut seq = Vec::with_capacity(specs.len());
+    for &RunSpec { app, kind } in &specs {
+        seq.push(run_app(&suite.apps()[app], &mapping, &sim, kind));
+    }
+    let seq_time = start.elapsed();
+
+    for (p, q) in par.iter().zip(&seq) {
+        assert_eq!(&p.stats, q, "speedup arms diverged");
+    }
+    assert!(
+        par_time.as_secs_f64() * 2.0 <= seq_time.as_secs_f64(),
+        "parallel sweep {par_time:?} not 2x faster than sequential {seq_time:?}"
+    );
 }
 
 #[test]
@@ -115,8 +208,11 @@ fn first_touch_runs_and_respects_clusters() {
         granularity: Granularity::Page,
         ..SimConfig::scaled()
     };
-    let app = hoploc::workloads::gafort(Scale::Test);
-    let ft = run_app(&app, &mapping, &sim, RunKind::FirstTouch);
+    let suite = Suite::new(vec![hoploc::workloads::gafort(Scale::Test)], mapping, sim);
+    let ft = suite.run_one(RunSpec {
+        app: 0,
+        kind: RunKind::FirstTouch,
+    });
     assert!(ft.total_accesses > 0);
     assert_eq!(
         ft.os_fallbacks, 0,
