@@ -15,7 +15,7 @@
 
 use crate::access::AffineAccess;
 use crate::matrix::{gcd, IVec};
-use crate::nest::{LoopNest, RefKind};
+use crate::nest::{ArrayId, LoopNest, RefKind};
 
 /// The result of testing a pair of references for dependence.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -147,28 +147,69 @@ fn has_integer_solution(a: &AffineAccess, diff: &IVec) -> bool {
     true
 }
 
-/// All dependence distance vectors among write-involving reference pairs
-/// of a nest (flow, anti, and output dependences — direction is not
-/// distinguished; distances are reported as computed).
-pub fn nest_dependences(nest: &LoopNest) -> Vec<Dependence> {
+/// A dependence-tested reference pair within one nest, with enough
+/// location information to diagnose it: `(statement index, reference
+/// index)` coordinates of both references into the nest body.
+///
+/// `a == b` marks the self-pair of a write reference (its instances in
+/// different iterations may conflict with each other).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DependencePair {
+    /// `(statement, reference)` coordinates of the first reference.
+    pub a: (usize, usize),
+    /// `(statement, reference)` coordinates of the second reference.
+    pub b: (usize, usize),
+    /// The array both references touch.
+    pub array: ArrayId,
+    /// The dependence-test verdict for the pair.
+    pub dep: Dependence,
+}
+
+/// Tests every write-involving reference pair of a nest (flow, anti, and
+/// output dependences — direction is not distinguished; distances are
+/// reported as computed), keeping pair locations for diagnosis.
+///
+/// Pairs with an indexed reference on either side are reported as
+/// [`Dependence::Unknown`]: the subscript comes from a runtime table, so
+/// the affine test does not apply.
+pub fn nest_dependence_pairs(nest: &LoopNest) -> Vec<DependencePair> {
     let mut out = Vec::new();
-    let refs: Vec<_> = nest.body().iter().flat_map(|s| s.refs.iter()).collect();
-    for (i, a) in refs.iter().enumerate() {
-        for b in refs.iter().skip(i) {
+    let refs: Vec<_> = nest
+        .body()
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| s.refs.iter().enumerate().map(move |(ri, r)| ((si, ri), r)))
+        .collect();
+    for (i, (loc_a, a)) in refs.iter().enumerate() {
+        for (loc_b, b) in refs.iter().skip(i) {
             if a.array != b.array {
                 continue;
             }
             if a.kind == RefKind::Read && b.kind == RefKind::Read {
                 continue;
             }
-            let (Some(aa), Some(bb)) = (a.access.as_affine(), b.access.as_affine()) else {
-                out.push(Dependence::Unknown);
-                continue;
+            let dep = match (a.access.as_affine(), b.access.as_affine()) {
+                (Some(aa), Some(bb)) => test_dependence(aa, bb),
+                _ => Dependence::Unknown,
             };
-            out.push(test_dependence(aa, bb));
+            out.push(DependencePair {
+                a: *loc_a,
+                b: *loc_b,
+                array: a.array,
+                dep,
+            });
         }
     }
     out
+}
+
+/// All dependence distance vectors among write-involving reference pairs
+/// of a nest, without locations (see [`nest_dependence_pairs`]).
+pub fn nest_dependences(nest: &LoopNest) -> Vec<Dependence> {
+    nest_dependence_pairs(nest)
+        .into_iter()
+        .map(|p| p.dep)
+        .collect()
 }
 
 /// Whether the nest's declared parallel dimension is legal: no dependence
@@ -262,6 +303,27 @@ mod tests {
             1,
         );
         assert!(!parallelization_is_legal(&nest));
+    }
+
+    #[test]
+    fn pairs_carry_statement_and_ref_coordinates() {
+        let m = IMat::identity(1);
+        let x = ArrayId(0);
+        let nest = LoopNest::new(
+            vec![Loop::constant(0, 16)],
+            0,
+            vec![
+                Statement::new(vec![ArrayRef::write(x, acc(&m, vec![0]))], 1),
+                Statement::new(vec![ArrayRef::read(x, acc(&m, vec![-1]))], 1),
+            ],
+            1,
+        );
+        let pairs = nest_dependence_pairs(&nest);
+        // Write self-pair + write-read pair.
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].a, pairs[0].b), ((0, 0), (0, 0)));
+        assert_eq!((pairs[1].a, pairs[1].b), ((0, 0), (1, 0)));
+        assert_eq!(pairs[1].dep, Dependence::Uniform(IVec::new(vec![-1])));
     }
 
     #[test]

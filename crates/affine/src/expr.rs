@@ -88,6 +88,38 @@ impl AffineExpr {
     pub fn eval_vec(&self, iters: &IVec) -> i64 {
         self.eval(iters.as_slice())
     }
+
+    /// Interval evaluation: the inclusive `(min, max)` the expression can
+    /// take when each iterator `k` ranges over the inclusive interval
+    /// `ranges[k]`.
+    ///
+    /// Arithmetic runs in `i128` and the result saturates to `i64`, so the
+    /// *analysis* of an overflow-prone program never panics itself —
+    /// saturation at `i64::MIN`/`i64::MAX` is the checker's overflow
+    /// signal. Coefficients beyond `ranges.len()` contribute as if the
+    /// iterator were pinned at 0 (bounds only reference *enclosing*
+    /// iterators; a deeper reference is a malformed program the bounds
+    /// lints report separately).
+    pub fn range(&self, ranges: &[(i64, i64)]) -> (i64, i64) {
+        let mut lo = self.constant as i128;
+        let mut hi = lo;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (rl, rh) = ranges.get(k).copied().unwrap_or((0, 0));
+            let a = c as i128 * rl as i128;
+            let b = c as i128 * rh as i128;
+            lo += a.min(b);
+            hi += a.max(b);
+        }
+        (saturate_i64(lo), saturate_i64(hi))
+    }
+}
+
+/// Saturating `i128 → i64` narrowing for interval arithmetic.
+fn saturate_i64(x: i128) -> i64 {
+    x.clamp(i64::MIN as i128, i64::MAX as i128) as i64
 }
 
 impl From<i64> for AffineExpr {
@@ -160,6 +192,28 @@ mod tests {
     fn var_selects_iterator() {
         let e = AffineExpr::var(3, 1);
         assert_eq!(e.eval(&[9, 4, 2]), 4);
+    }
+
+    #[test]
+    fn range_brackets_all_evaluations() {
+        // 2*i0 - i1 + 3 over i0 ∈ [0, 4], i1 ∈ [-1, 2].
+        let e = AffineExpr::new(vec![2, -1], 3);
+        let (lo, hi) = e.range(&[(0, 4), (-1, 2)]);
+        assert_eq!((lo, hi), (1, 12));
+        for i0 in 0..=4 {
+            for i1 in -1..=2 {
+                let v = e.eval(&[i0, i1]);
+                assert!(lo <= v && v <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn range_saturates_instead_of_panicking() {
+        let e = AffineExpr::new(vec![i64::MAX, i64::MAX], 0);
+        let (lo, hi) = e.range(&[(0, i64::MAX), (0, i64::MAX)]);
+        assert_eq!(lo, 0);
+        assert_eq!(hi, i64::MAX);
     }
 
     #[test]

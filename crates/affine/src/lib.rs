@@ -62,7 +62,10 @@ mod space;
 mod transform;
 
 pub use access::AffineAccess;
-pub use dependence::{nest_dependences, parallelization_is_legal, test_dependence, Dependence};
+pub use dependence::{
+    nest_dependence_pairs, nest_dependences, parallelization_is_legal, test_dependence, Dependence,
+    DependencePair,
+};
 pub use expr::AffineExpr;
 pub use matrix::{extended_gcd, gcd, IMat, IVec};
 pub use nest::{AccessFn, ArrayId, ArrayRef, Loop, LoopNest, RefKind, Statement, TableId};

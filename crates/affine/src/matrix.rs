@@ -546,7 +546,11 @@ impl fmt::Display for IVec {
 /// Narrows an exact `i128` intermediate back to `i64`, panicking if the
 /// mathematically correct result does not fit.
 pub(crate) fn narrow(x: i128) -> i64 {
-    i64::try_from(x).expect("affine arithmetic result overflowed i64")
+    i64::try_from(x).expect(
+        "invariant: exact integer-linear-algebra intermediates fit i64 for all program \
+         shapes the IR admits; an overflow here means the input matrix entries were \
+         already astronomically large (the hoploc-check HL0309 lint flags such programs)",
+    )
 }
 
 /// Greatest common divisor of two non-negative integers.

@@ -221,6 +221,26 @@ impl LoopNest {
         (l.lower.eval(&[]), l.upper.eval(&[]))
     }
 
+    /// Conservative inclusive value range of every iterator, outermost
+    /// first, by interval-evaluating each loop's affine bounds over the
+    /// ranges of its enclosing iterators.
+    ///
+    /// A returned range with `lo > hi` means that loop's body can never
+    /// execute (an empty iteration domain). Ranges are an over-
+    /// approximation for triangular nests: every executed iteration lies
+    /// within them, but not every point within them is executed.
+    pub fn iteration_ranges(&self) -> Vec<(i64, i64)> {
+        let mut ranges: Vec<(i64, i64)> = Vec::with_capacity(self.depth());
+        for l in &self.loops {
+            let (lo_min, _) = l.lower.range(&ranges);
+            let (_, hi_max) = l.upper.range(&ranges);
+            // Half-open [lower, upper) bounds: largest reachable value is
+            // upper − 1.
+            ranges.push((lo_min, hi_max.saturating_sub(1)));
+        }
+        ranges
+    }
+
     /// Estimated trip count of each loop, evaluating affine bounds with
     /// enclosing iterators at their midpoints.
     pub fn trip_count_estimates(&self) -> Vec<i64> {
@@ -424,6 +444,28 @@ mod tests {
         let mut visits = Vec::new();
         nest.walk_core_iterations(0, 1, &[1, 1], |it| visits.push((it[0], it[1])));
         assert_eq!(visits, vec![(1, 0), (2, 0), (2, 1), (3, 0), (3, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn iteration_ranges_cover_triangular_nests() {
+        // for i0 in 0..4, for i1 in 0..i0: i1 reaches at most 2.
+        let nest = LoopNest::new(
+            vec![
+                Loop::constant(0, 4),
+                Loop::new(AffineExpr::constant(0), AffineExpr::var(1, 0)),
+            ],
+            0,
+            vec![],
+            1,
+        );
+        assert_eq!(nest.iteration_ranges(), vec![(0, 3), (0, 2)]);
+    }
+
+    #[test]
+    fn iteration_ranges_flag_empty_domains() {
+        let nest = LoopNest::new(vec![Loop::constant(5, 5)], 0, vec![], 1);
+        let r = nest.iteration_ranges();
+        assert!(r[0].0 > r[0].1, "empty loop must yield an empty range");
     }
 
     #[test]

@@ -169,7 +169,21 @@ impl Program {
     ///
     /// Panics if the id is stale.
     pub fn array(&self, id: ArrayId) -> &ArrayDecl {
-        &self.arrays[id.0]
+        self.try_array(id).unwrap_or_else(|| {
+            panic!(
+                "stale ArrayId({}): program {:?} declares {} arrays",
+                id.0,
+                self.name,
+                self.arrays.len()
+            )
+        })
+    }
+
+    /// Looks up an array declaration, returning `None` for a stale id.
+    /// Diagnostics-producing consumers (the `hoploc-check` lints) use this
+    /// so a malformed program is reported, not panicked on.
+    pub fn try_array(&self, id: ArrayId) -> Option<&ArrayDecl> {
+        self.arrays.get(id.0)
     }
 
     /// Looks up an index table.
@@ -178,7 +192,24 @@ impl Program {
     ///
     /// Panics if the id is stale.
     pub fn table(&self, id: TableId) -> &[i64] {
-        &self.tables[id.0]
+        self.try_table(id).unwrap_or_else(|| {
+            panic!(
+                "stale TableId({}): program {:?} declares {} tables",
+                id.0,
+                self.name,
+                self.tables.len()
+            )
+        })
+    }
+
+    /// Looks up an index table, returning `None` for a stale id.
+    pub fn try_table(&self, id: TableId) -> Option<&[i64]> {
+        self.tables.get(id.0).map(Vec::as_slice)
+    }
+
+    /// All index tables, indexed by [`TableId`].
+    pub fn tables(&self) -> &[Vec<i64>] {
+        &self.tables
     }
 
     /// All loop nests.

@@ -156,7 +156,9 @@ pub fn complete_unimodular(g: &IVec, row: usize) -> Option<IMat> {
     let mut w = IMat::identity(n);
     // Gather the gcd into position 0.
     if r[0] == 0 {
-        let c = (1..n).find(|&c| r[c] != 0).expect("non-zero vector");
+        let c = (1..n)
+            .find(|&c| r[c] != 0)
+            .expect("invariant: g.is_zero() returned above, so some component is non-zero");
         let t = r[0];
         r[0] = r[c];
         r[c] = t;

@@ -136,7 +136,7 @@ pub fn permute_loops(nest: &LoopNest, perm: &[usize]) -> Result<LoopNest, Transf
     let new_parallel = perm
         .iter()
         .position(|&p| p == nest.parallel_dim())
-        .expect("permutation covers every dim");
+        .expect("invariant: permutation_is_legal verified perm is a bijection on 0..depth");
 
     // Column permutation matrix P with P[(k, perm[k])] = 1: i⃗ = P·i⃗'.
     let mut p_mat = IMat::zeros(depth, depth);

@@ -3,7 +3,8 @@
 //! `hoploc-ptest` (the workspace's offline stand-in for proptest).
 
 use hoploc_affine::{
-    complete_unimodular, gcd, hermite_normal_form, nullspace, AffineAccess, IMat, IVec,
+    complete_unimodular, gcd, hermite_normal_form, nullspace, test_dependence, AffineAccess,
+    Dependence, IMat, IVec,
 };
 use hoploc_ptest::{run_cases, SmallRng};
 
@@ -175,6 +176,115 @@ fn gcd_divides_both() {
             assert_eq!(b % g, 0);
         } else {
             assert_eq!((a, b), (0, 0));
+        }
+    });
+}
+
+/// A random access of the given shape with small coefficients and offsets.
+fn rand_access(rng: &mut SmallRng, rank: usize, depth: usize) -> AffineAccess {
+    let rows: Vec<Vec<i64>> = (0..rank)
+        .map(|_| (0..depth).map(|_| rng.i64_in(-3..4)).collect())
+        .collect();
+    let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let off: Vec<i64> = (0..rank).map(|_| rng.i64_in(-4..5)).collect();
+    AffineAccess::new(IMat::from_rows(&refs), IVec::new(off))
+}
+
+/// All iteration points of the cube `[0, n)^depth`.
+fn domain(depth: usize, n: i64) -> Vec<Vec<i64>> {
+    let mut pts = vec![vec![]];
+    for _ in 0..depth {
+        pts = pts
+            .into_iter()
+            .flat_map(|p| {
+                (0..n).map(move |v| {
+                    let mut q = p.clone();
+                    q.push(v);
+                    q
+                })
+            })
+            .collect();
+    }
+    pts
+}
+
+/// Whether any two iterations map the two accesses onto the same element.
+fn collides_somewhere(a: &AffineAccess, b: &AffineAccess, iters: &[Vec<i64>]) -> bool {
+    iters
+        .iter()
+        .any(|i1| iters.iter().any(|i2| a.eval_slice(i1) == b.eval_slice(i2)))
+}
+
+#[test]
+fn independence_is_sound_against_exhaustive_enumeration() {
+    // If the test says Independent, no pair of iterations in a small cube
+    // may touch the same element: independence must never be overclaimed.
+    run_cases("dependence-soundness", 400, |rng| {
+        let depth = rng.usize_in(1..3);
+        let rank = rng.usize_in(1..3);
+        let a = rand_access(rng, rank, depth);
+        let b = rand_access(rng, rank, depth);
+        if test_dependence(&a, &b) == Dependence::Independent {
+            let iters = domain(depth, 4);
+            assert!(
+                !collides_somewhere(&a, &b, &iters),
+                "claimed Independent but {a:?} and {b:?} collide"
+            );
+        }
+    });
+}
+
+#[test]
+fn independence_is_symmetric() {
+    // Whether two references are independent cannot depend on which one is
+    // named first, and a uniform distance reverses sign under swapping.
+    run_cases("dependence-symmetry", 400, |rng| {
+        let depth = rng.usize_in(1..4);
+        let rank = rng.usize_in(1..3);
+        let a = rand_access(rng, rank, depth);
+        let b = if rng.flip() {
+            // Share a's matrix half the time to exercise the uniform path.
+            AffineAccess::new(
+                a.matrix().clone(),
+                IVec::new((0..rank).map(|_| rng.i64_in(-4..5)).collect()),
+            )
+        } else {
+            rand_access(rng, rank, depth)
+        };
+        let ab = test_dependence(&a, &b);
+        let ba = test_dependence(&b, &a);
+        assert_eq!(
+            ab == Dependence::Independent,
+            ba == Dependence::Independent,
+            "asymmetric verdicts {ab:?} / {ba:?} for {a:?} and {b:?}"
+        );
+        if let (Dependence::Uniform(d), Dependence::Uniform(e)) = (&ab, &ba) {
+            let neg: Vec<i64> = d.as_slice().iter().map(|x| -x).collect();
+            assert_eq!(neg, e.as_slice(), "distances must be negations");
+        }
+    });
+}
+
+#[test]
+fn uniform_distance_maps_sink_onto_source() {
+    // Uniform(d) promises a(i + d) == b(i) for every iteration i.
+    run_cases("uniform-distance", 400, |rng| {
+        let depth = rng.usize_in(1..4);
+        let rank = rng.usize_in(1..3);
+        let a = rand_access(rng, rank, depth);
+        let b = AffineAccess::new(
+            a.matrix().clone(),
+            IVec::new((0..rank).map(|_| rng.i64_in(-4..5)).collect()),
+        );
+        if let Dependence::Uniform(d) = test_dependence(&a, &b) {
+            for i in domain(depth, 3) {
+                let shifted: Vec<i64> = i.iter().zip(d.as_slice()).map(|(x, y)| x + y).collect();
+                assert_eq!(
+                    a.eval_slice(&shifted),
+                    b.eval_slice(&i),
+                    "distance {d:?} does not map {a:?} onto {b:?} at {i:?}"
+                );
+            }
         }
     });
 }

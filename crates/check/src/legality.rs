@@ -1,0 +1,439 @@
+//! The HL01xx layout-legality verifier.
+//!
+//! A customized layout ([`ArrayLayout`]) is legal when its address function
+//! is injective over the declared index box and lands inside the padded
+//! span. The construction in `hoploc-layout` is legal by design; this
+//! module *proves* it per array, per configuration, so a bug anywhere in
+//! the strip-mine/permute/pad pipeline (or a hand-assembled plan via
+//! `ArrayLayout::from_parts`) surfaces as a diagnostic instead of silently
+//! corrupting simulated traffic:
+//!
+//! * [`Code::NonUnimodularTransform`]: the data transformation `U` must be
+//!   a bijection on index vectors (|det U| = 1, §5.2).
+//! * [`Code::SlotAliasing`]: structural plan defects — an owner group out
+//!   of range, a group owning threads but holding no interleave-unit
+//!   slots, a slot index at or past the super-group size, or one slot
+//!   claimed twice (within a group or across groups). Each makes two
+//!   distinct units share a physical unit, or makes the address function
+//!   partial.
+//! * [`Code::SpanOverflow`] / [`Code::PlacementCollision`]: the empirical
+//!   backstop — enumerate (or, past [`CheckConfig::sample_cap`], subsample)
+//!   the index box and check every placed offset for range and uniqueness.
+//!   A collision diagnostic carries a concrete witness pair.
+//! * [`Code::BadInterleaveUnit`] / [`Code::ArraySkipped`]: per-array pass
+//!   reports are folded in — a config whose interleave unit cannot hold a
+//!   whole number of elements is an error, any other skip reason is a
+//!   note (the original layout remains valid; §5.4).
+
+use crate::diag::{Code, Diagnostic};
+use crate::CheckConfig;
+use hoploc_affine::{ArrayDecl, Program};
+use hoploc_layout::{ArrayLayout, LayoutError, ProgramLayout};
+use std::collections::HashMap;
+
+/// Verifies every array layout of a pass result, folding in the pass's own
+/// per-array skip reports. `label` names the configuration (for example
+/// `"private/cacheline"`) and lands in each diagnostic's config field.
+pub fn check_layout(
+    program: &Program,
+    layout: &ProgramLayout,
+    label: &str,
+    cfg: &CheckConfig,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for report in layout.reports() {
+        let Some(reason) = &report.reason else {
+            continue;
+        };
+        let d = match reason {
+            LayoutError::BadInterleaveUnit { .. } => Diagnostic::new(
+                Code::BadInterleaveUnit,
+                program.name(),
+                reason.render(program),
+            )
+            .with_help("choose line/page bytes divisible by every element size"),
+            _ => Diagnostic::new(Code::ArraySkipped, program.name(), reason.render(program))
+                .with_help("the original row-major layout remains in use"),
+        };
+        out.push(d.with_config(label).on_array(&report.name));
+    }
+    for (decl, al) in program.arrays().iter().zip(layout.layouts()) {
+        let mut ds = verify_array_layout(decl, al, program.name(), cfg);
+        for d in &mut ds {
+            *d = std::mem::replace(d, Diagnostic::new(Code::ArraySkipped, "", ""))
+                .with_config(label);
+        }
+        out.append(&mut ds);
+    }
+    out
+}
+
+/// Proves one array's layout injective and in-bounds (see the module docs
+/// for the individual checks). The original layout is trivially legal and
+/// produces nothing.
+pub fn verify_array_layout(
+    decl: &ArrayDecl,
+    layout: &ArrayLayout,
+    app: &str,
+    cfg: &CheckConfig,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(view) = layout.plan_view() else {
+        return out;
+    };
+    let name = decl.name();
+
+    if !layout.u().is_unimodular() {
+        out.push(
+            Diagnostic::new(
+                Code::NonUnimodularTransform,
+                app,
+                format!(
+                    "data transformation U of `{name}` has |det| != 1 and is \
+                     not a bijection on index vectors"
+                ),
+            )
+            .on_array(name)
+            .with_help("only unimodular transformations preserve every element (§5.2)"),
+        );
+    }
+
+    // Structural plan checks. Out-of-range groups and slotless owning
+    // groups make `place` partial (they would panic), so those abort the
+    // enumeration below.
+    let mut partial = false;
+    let n_groups = view.group_slots.len();
+    for (t, &g) in view.thread_group.iter().enumerate() {
+        if (g as usize) >= n_groups {
+            out.push(
+                Diagnostic::new(
+                    Code::SlotAliasing,
+                    app,
+                    format!(
+                        "thread {t} of `{name}` is owned by group {g}, but the \
+                         plan only defines {n_groups} slot groups"
+                    ),
+                )
+                .on_array(name),
+            );
+            partial = true;
+        } else if view.group_slots[g as usize].is_empty() {
+            out.push(
+                Diagnostic::new(
+                    Code::SlotAliasing,
+                    app,
+                    format!(
+                        "group {g} of `{name}` owns thread {t} but holds no \
+                         interleave-unit slots, so its data has nowhere to go"
+                    ),
+                )
+                .on_array(name),
+            );
+            partial = true;
+        }
+    }
+    let owning: Vec<bool> = (0..n_groups)
+        .map(|g| view.thread_group.iter().any(|&tg| tg as usize == g))
+        .collect();
+    let mut slot_owner: HashMap<u32, usize> = HashMap::new();
+    for (g, _) in owning.iter().enumerate().filter(|&(_, &own)| own) {
+        for &s in &view.group_slots[g] {
+            if s >= view.n_slots_total {
+                out.push(
+                    Diagnostic::new(
+                        Code::SlotAliasing,
+                        app,
+                        format!(
+                            "group {g} of `{name}` claims slot {s}, at or past \
+                             the super-group size {}",
+                            view.n_slots_total
+                        ),
+                    )
+                    .on_array(name),
+                );
+            }
+            if let Some(&prev) = slot_owner.get(&s) {
+                let whose = if prev == g {
+                    format!("twice within group {g}")
+                } else {
+                    format!("by groups {prev} and {g}")
+                };
+                out.push(
+                    Diagnostic::new(
+                        Code::SlotAliasing,
+                        app,
+                        format!(
+                            "slot {s} of `{name}` is claimed {whose}: their \
+                             units share one physical interleave unit"
+                        ),
+                    )
+                    .on_array(name),
+                );
+            } else {
+                slot_owner.insert(s, g);
+            }
+        }
+    }
+    if partial {
+        return out;
+    }
+
+    enumerate_placements(decl, layout, app, cfg, &mut out);
+    out
+}
+
+/// Walks the index box (subsampled past the cap), placing every vector and
+/// checking range and uniqueness. Emits at most one [`Code::SpanOverflow`]
+/// and one [`Code::PlacementCollision`] (with a witness pair) per array.
+fn enumerate_placements(
+    decl: &ArrayDecl,
+    layout: &ArrayLayout,
+    app: &str,
+    cfg: &CheckConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let name = decl.name();
+    let rank = decl.rank();
+    let coords: Vec<Vec<i64>> = if decl.num_elements() as u64 <= cfg.sample_cap {
+        decl.dims().iter().map(|&d| (0..d).collect()).collect()
+    } else {
+        let per_dim = ((cfg.sample_cap as f64).powf(1.0 / rank as f64) as usize).max(2);
+        decl.dims()
+            .iter()
+            .map(|&d| sample_coords(d, per_dim))
+            .collect()
+    };
+    let span = layout.span_elements();
+    let mut seen: HashMap<i64, Vec<i64>> = HashMap::new();
+    let mut overflow = false;
+    let mut collision = false;
+    let mut idx = vec![0usize; rank];
+    'walk: loop {
+        let dvec: Vec<i64> = idx.iter().zip(&coords).map(|(&i, c)| c[i]).collect();
+        let off = layout.place(&dvec);
+        if !overflow && (off < 0 || off >= span) {
+            overflow = true;
+            out.push(
+                Diagnostic::new(
+                    Code::SpanOverflow,
+                    app,
+                    format!(
+                        "element {dvec:?} of `{name}` places at offset {off}, \
+                         outside the padded span of {span} elements"
+                    ),
+                )
+                .on_array(name),
+            );
+        }
+        if !collision {
+            if let Some(prev) = seen.insert(off, dvec.clone()) {
+                collision = true;
+                out.push(
+                    Diagnostic::new(
+                        Code::PlacementCollision,
+                        app,
+                        format!(
+                            "elements {prev:?} and {dvec:?} of `{name}` both \
+                             place at offset {off}: the layout is not injective"
+                        ),
+                    )
+                    .on_array(name),
+                );
+            }
+        }
+        if overflow && collision {
+            break;
+        }
+        // Odometer increment, innermost dimension fastest.
+        let mut k = rank;
+        loop {
+            if k == 0 {
+                break 'walk;
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < coords[k].len() {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// Up to `cap` evenly spaced coordinates of a dimension, always including
+/// both boundaries (where clamping and padding defects concentrate).
+fn sample_coords(d: i64, cap: usize) -> Vec<i64> {
+    if d as u128 <= cap as u128 {
+        return (0..d).collect();
+    }
+    let mut v: Vec<i64> = (0..cap)
+        .map(|i| (i as i64 * (d - 1)) / (cap as i64 - 1))
+        .collect();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use hoploc_affine::{AffineAccess, ArrayRef, IMat, IVec, Loop, LoopNest, Statement};
+    use hoploc_layout::{optimize_program, PassConfig};
+    use hoploc_noc::{L2ToMcMapping, McPlacement, Mesh};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    fn mapping() -> L2ToMcMapping {
+        L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &McPlacement::Corners)
+    }
+
+    fn stencil_program() -> Program {
+        let mut p = Program::new("stencil");
+        let z = p.add_array(ArrayDecl::new("Z", vec![512, 512], 8));
+        let a = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        p.add_nest(LoopNest::new(
+            vec![Loop::constant(1, 511), Loop::constant(1, 511)],
+            0,
+            vec![Statement::new(
+                vec![
+                    ArrayRef::read(z, AffineAccess::new(a.clone(), IVec::new(vec![-1, 0]))),
+                    ArrayRef::write(z, AffineAccess::new(a, IVec::zeros(2))),
+                ],
+                4,
+            )],
+            10,
+        ));
+        p
+    }
+
+    #[test]
+    fn real_pass_output_verifies_clean() {
+        let p = stencil_program();
+        let out = optimize_program(&p, &mapping(), PassConfig::default());
+        let d = check_layout(&p, &out, "private/cacheline", &CheckConfig::default());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn skipped_array_becomes_a_note() {
+        let mut p = stencil_program();
+        p.add_array(ArrayDecl::new("dead", vec![64], 8));
+        let out = optimize_program(&p, &mapping(), PassConfig::default());
+        let d = check_layout(&p, &out, "private/cacheline", &CheckConfig::default());
+        assert_eq!(codes(&d), vec!["HL0110"], "{d:?}");
+        assert_eq!(d[0].severity(), Severity::Note);
+        assert!(d[0].message.contains("`dead`"));
+        assert_eq!(d[0].config.as_deref(), Some("private/cacheline"));
+    }
+
+    #[test]
+    fn bad_interleave_unit_is_an_error() {
+        let p = stencil_program();
+        let cfg = PassConfig {
+            line_bytes: 100,
+            ..PassConfig::default()
+        };
+        let out = optimize_program(&p, &mapping(), cfg);
+        let d = check_layout(&p, &out, "private/cacheline", &CheckConfig::default());
+        assert_eq!(codes(&d), vec!["HL0105"], "{d:?}");
+        assert_eq!(d[0].severity(), Severity::Error);
+    }
+
+    #[test]
+    fn shared_slot_plan_aliases_and_collides() {
+        // The from_parts fixture from hoploc-layout: two groups both on
+        // slot 0 of a 4-slot super-group.
+        let decl = ArrayDecl::new("X", vec![64, 32], 8);
+        let l = ArrayLayout::from_parts(
+            &decl,
+            IMat::identity(2),
+            256,
+            vec![0; 32].into_iter().chain(vec![1; 32]).collect(),
+            vec![vec![0], vec![0]],
+            4,
+            4,
+        );
+        let d = verify_array_layout(&decl, &l, "fixture", &CheckConfig::default());
+        let c = codes(&d);
+        assert!(c.contains(&"HL0102"), "{d:?}");
+        assert!(c.contains(&"HL0104"), "{d:?}");
+        assert!(d.iter().all(|x| x.severity() == Severity::Error));
+    }
+
+    #[test]
+    fn non_unimodular_transform_is_flagged() {
+        let decl = ArrayDecl::new("X", vec![64, 32], 8);
+        let l = ArrayLayout::from_parts(
+            &decl,
+            IMat::from_rows(&[&[2, 0], &[0, 1]]),
+            256,
+            vec![0; 64],
+            vec![vec![0], vec![1], vec![2], vec![3]],
+            4,
+            4,
+        );
+        let d = verify_array_layout(&decl, &l, "fixture", &CheckConfig::default());
+        assert!(codes(&d).contains(&"HL0101"), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_range_slot_overflows_the_span() {
+        let decl = ArrayDecl::new("X", vec![64, 32], 8);
+        let l = ArrayLayout::from_parts(
+            &decl,
+            IMat::identity(2),
+            256,
+            vec![0; 64],
+            vec![vec![7]],
+            4,
+            4,
+        );
+        let d = verify_array_layout(&decl, &l, "fixture", &CheckConfig::default());
+        let c = codes(&d);
+        assert!(c.contains(&"HL0102"), "{d:?}");
+        assert!(c.contains(&"HL0103"), "{d:?}");
+    }
+
+    #[test]
+    fn slotless_owning_group_aborts_before_place_panics() {
+        let decl = ArrayDecl::new("X", vec![64, 32], 8);
+        let l = ArrayLayout::from_parts(
+            &decl,
+            IMat::identity(2),
+            256,
+            vec![0; 64],
+            vec![vec![]],
+            4,
+            4,
+        );
+        let d = verify_array_layout(&decl, &l, "fixture", &CheckConfig::default());
+        assert_eq!(codes(&d), vec!["HL0102"; 64], "{d:?}");
+    }
+
+    #[test]
+    fn large_arrays_are_subsampled_not_skipped() {
+        let small = CheckConfig {
+            sample_cap: 1 << 10,
+            ..CheckConfig::default()
+        };
+        // A duplicated slot within the single group folds every pair of
+        // units 32 elements apart onto one offset — collisions dense
+        // enough that the subsampled walk must still witness one.
+        let decl = ArrayDecl::new("X", vec![4096, 64], 8);
+        let l = ArrayLayout::from_parts(
+            &decl,
+            IMat::identity(2),
+            256,
+            vec![0; 64],
+            vec![vec![0, 0]],
+            4,
+            4,
+        );
+        let d = verify_array_layout(&decl, &l, "fixture", &small);
+        let c = codes(&d);
+        assert!(c.contains(&"HL0102"), "{d:?}");
+        assert!(c.contains(&"HL0104"), "{d:?}");
+    }
+}

@@ -259,26 +259,14 @@ impl Suite {
     /// bit-identical to what `jobs = 1` (or the un-cached sequential path)
     /// produces.
     pub fn run_matrix(&self, specs: &[RunSpec], jobs: usize) -> Vec<RunRecord> {
-        let jobs = jobs.clamp(1, specs.len().max(1));
-        let slots: Vec<OnceLock<RunStats>> = specs.iter().map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let stats = self.run_one(*spec);
-                    slots[i].set(stats).expect("spec index claimed twice");
-                });
-            }
-        });
+        let stats = parallel_map(specs, jobs, |spec| self.run_one(*spec));
         specs
             .iter()
-            .zip(slots)
-            .map(|(spec, slot)| RunRecord {
+            .zip(stats)
+            .map(|(spec, stats)| RunRecord {
                 app: self.apps[spec.app].name().to_string(),
                 kind: spec.kind,
-                stats: slot.into_inner().expect("worker died before finishing"),
+                stats,
             })
             .collect()
     }
@@ -297,6 +285,44 @@ impl Suite {
             trace_misses: self.traces.misses.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Maps `f` over `items` across `jobs` worker threads and collects the
+/// results **by index**: the output order is the item order no matter how
+/// the scheduler interleaves workers. Workers pull items off a shared
+/// atomic queue, so uneven item costs balance automatically. With
+/// `jobs <= 1` (or a single item) this degenerates to a sequential map.
+///
+/// This is the fan-out primitive under [`Suite::run_matrix`] and the
+/// `hoploc check` subcommand; `f` must be pure in its item for the
+/// determinism guarantee to mean anything.
+pub fn parallel_map<T: Sync, R: Send + Sync>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let jobs = jobs.clamp(1, items.len().max(1));
+    let slots: Vec<OnceLock<R>> = items.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                if slots[i].set(r).is_err() {
+                    unreachable!("item index claimed twice");
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("invariant: the scope joins every worker, so each slot was filled")
+        })
+        .collect()
 }
 
 /// A sensible default worker count: the machine's available parallelism.
@@ -491,5 +517,19 @@ mod tests {
     #[test]
     fn json_escapes_strings() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn parallel_map_keeps_item_order_at_any_job_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [0, 1, 3, 8, 200] {
+            assert_eq!(
+                parallel_map(&items, jobs, |&x| x * x),
+                expect,
+                "jobs={jobs}"
+            );
+        }
+        assert!(parallel_map(&Vec::<u64>::new(), 4, |&x| x).is_empty());
     }
 }

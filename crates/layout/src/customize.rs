@@ -90,6 +90,30 @@ struct LocalizedPlan {
     n_mcs: u32,
 }
 
+/// A read-only view of a localized plan's internals, exposed for the
+/// `hoploc-check` layout-legality verifier (and for tests that need to
+/// assert plan structure). The fields mirror [`LocalizedPlan`]; see the
+/// module docs for the super-group/slot arrangement they describe.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanView<'a> {
+    /// Elements per interleave unit (`p` in the paper).
+    pub p_elems: i64,
+    /// Product of the transformed extents of all non-partition dimensions.
+    pub slab: i64,
+    /// Partition-dimension block size per thread.
+    pub block_size: i64,
+    /// Owner group of each thread (index = thread id).
+    pub thread_group: &'a [u32],
+    /// First partition-dimension coordinate owned by each group.
+    pub group_v_lo: &'a [i64],
+    /// The interleave-unit slots of each group within a super-group.
+    pub group_slots: &'a [Vec<u32>],
+    /// Units per super-group.
+    pub n_slots_total: u32,
+    /// Number of memory controllers.
+    pub n_mcs: u32,
+}
+
 /// The customized layout of one array: a bijection from original data
 /// vectors to element offsets, plus the metadata the OS and simulator need.
 #[derive(Clone, Debug)]
@@ -278,7 +302,11 @@ impl ArrayLayout {
         for g in 0..n_groups {
             let v_extent = (group_v_hi[g] - group_v_lo[g]).max(0);
             let elems = v_extent * slab;
-            let k = group_slots[g].len() as i64;
+            // `from_parts` performs no legality validation: a hand-built
+            // plan may leave a group slotless. Size its span as if it had
+            // one slot so construction succeeds and the hoploc-check
+            // verifier can reject the plan instead of a panic here.
+            let k = (group_slots[g].len() as i64).max(1);
             let units = (elems + p_elems - 1) / p_elems;
             let sg = (units + k - 1) / k;
             max_supergroups = max_supergroups.max(sg);
@@ -306,9 +334,89 @@ impl ArrayLayout {
         }
     }
 
+    /// Assembles a localized layout directly from plan internals, skipping
+    /// the slot-assignment machinery of [`ArrayLayout::localized_private`]
+    /// / [`ArrayLayout::localized_shared`].
+    ///
+    /// **For verification tooling and tests only**: no legality validation
+    /// is performed, so the result may alias elements or run past its span
+    /// — exactly what the `hoploc-check` layout verifier exists to detect.
+    /// `thread_group[t]` names the owner group of thread `t`;
+    /// `group_slots[g]` lists group `g`'s interleave-unit slots within a
+    /// super-group of `n_slots_total` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not square in the array rank, or `unit_bytes` is
+    /// not a positive multiple of the element size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        decl: &ArrayDecl,
+        u: IMat,
+        unit_bytes: u32,
+        thread_group: Vec<u32>,
+        group_slots: Vec<Vec<u32>>,
+        n_slots_total: u32,
+        n_mcs: u32,
+    ) -> Self {
+        let (mins, extents) = transformed_bounds(&u, decl.dims());
+        let n_threads = thread_group.len();
+        Self::assemble(
+            decl,
+            u,
+            mins,
+            extents,
+            unit_bytes,
+            thread_group,
+            group_slots,
+            n_slots_total,
+            n_mcs,
+            n_threads,
+        )
+    }
+
     /// The layout transformation matrix `U`.
     pub fn u(&self) -> &IMat {
         &self.u
+    }
+
+    /// The internals of a localized plan, for the layout-legality verifier.
+    /// `None` for the original layout (nothing to verify).
+    pub fn plan_view(&self) -> Option<PlanView<'_>> {
+        match &self.plan {
+            Plan::Original => None,
+            Plan::Localized(p) => Some(PlanView {
+                p_elems: p.p_elems,
+                slab: p.slab,
+                block_size: p.part.block_size(),
+                thread_group: &p.thread_group,
+                group_v_lo: &p.group_v_lo,
+                group_slots: &p.group_slots,
+                n_slots_total: p.n_slots_total,
+                n_mcs: p.n_mcs,
+            }),
+        }
+    }
+
+    /// Per-dimension minima of the transformed index box (the shift that
+    /// normalizes transformed coordinates to start at zero).
+    pub fn mins(&self) -> &[i64] {
+        &self.mins
+    }
+
+    /// The declared (original) dimension sizes.
+    pub fn dims(&self) -> &[i64] {
+        &self.dims
+    }
+
+    /// Element size in bytes.
+    pub fn elem_size(&self) -> u32 {
+        self.elem_size
+    }
+
+    /// Interleave unit in bytes (0 for the original layout).
+    pub fn unit_bytes(&self) -> u32 {
+        self.unit_bytes
     }
 
     /// Whether this is the untransformed baseline layout.
@@ -506,7 +614,10 @@ fn assign_shared_slots(
                 best = Some(key);
             }
         }
-        let (_, _, s) = best.expect("a free slot always exists");
+        let (_, _, s) = best.expect(
+            "invariant: 2n candidate slots for n threads, each thread takes one, \
+             so at least n remain free when thread t < n picks",
+        );
         taken[s] = true;
         out[t] = s as u32;
     }
@@ -712,6 +823,42 @@ mod tests {
         let raw = 256 * 64;
         assert!(l.span_elements() >= raw);
         assert!(l.span_elements() <= raw * 2, "padding overhead too large");
+    }
+
+    #[test]
+    fn plan_view_exposes_localized_internals() {
+        let (l, mapping, _) = private_layout(vec![256, 64]);
+        let v = l.plan_view().expect("localized layout has a plan");
+        assert_eq!(v.p_elems, 256 / 8);
+        assert_eq!(v.n_mcs, mapping.num_mcs() as u32);
+        assert_eq!(v.thread_group.len(), 64);
+        assert_eq!(v.group_slots.len(), mapping.num_clusters());
+        let decl = ArrayDecl::new("X", vec![4, 4], 8);
+        assert!(ArrayLayout::original(&decl).plan_view().is_none());
+    }
+
+    #[test]
+    fn from_parts_can_build_an_aliasing_plan() {
+        // Two groups deliberately sharing slot 0: distinct elements must
+        // collide — the defect the hoploc-check verifier exists to catch.
+        let decl = ArrayDecl::new("X", vec![64, 32], 8);
+        let l = ArrayLayout::from_parts(
+            &decl,
+            IMat::identity(2),
+            256,
+            vec![0; 32].into_iter().chain(vec![1; 32]).collect(),
+            vec![vec![0], vec![0]],
+            4,
+            4,
+        );
+        let mut seen = HashSet::new();
+        let mut collided = false;
+        for a0 in 0..64 {
+            for a1 in 0..32 {
+                collided |= !seen.insert(l.place(&[a0, a1]));
+            }
+        }
+        assert!(collided, "shared slot must alias the two groups' units");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Error types of the layout pass.
 
-use hoploc_affine::ArrayId;
+use hoploc_affine::{ArrayId, Program};
 use std::fmt;
 
 /// Why the layout pass declined to optimize an array.
@@ -29,6 +29,67 @@ pub enum LayoutError {
     /// The L2-to-MC mapping's MC sets overlap or do not cover all MCs, so
     /// no interleaving-compatible slot assignment exists.
     UnroutableMapping,
+    /// The configured interleave unit is not a positive multiple of the
+    /// array's element size, so no whole number of elements fits one unit.
+    BadInterleaveUnit {
+        /// The array concerned.
+        array: ArrayId,
+        /// The configured interleave unit in bytes.
+        unit_bytes: u32,
+        /// The array's element size in bytes.
+        elem_size: u32,
+    },
+}
+
+impl LayoutError {
+    /// The array the error concerns, when there is one.
+    pub fn array(&self) -> Option<ArrayId> {
+        match self {
+            LayoutError::NoReferences(a)
+            | LayoutError::NoPartitioningHyperplane(a)
+            | LayoutError::ApproximationTooInaccurate { array: a, .. }
+            | LayoutError::BadInterleaveUnit { array: a, .. } => Some(*a),
+            LayoutError::UnroutableMapping => None,
+        }
+    }
+
+    /// Renders the error with array *names* resolved through the program
+    /// that produced it, instead of the raw `ArrayId` numbers the bare
+    /// [`fmt::Display`] impl falls back to.
+    pub fn render(&self, program: &Program) -> String {
+        let name = |a: &ArrayId| {
+            program
+                .try_array(*a)
+                .map(|d| format!("`{}`", d.name()))
+                .unwrap_or_else(|| format!("#{} (stale id)", a.0))
+        };
+        match self {
+            LayoutError::NoReferences(a) => {
+                format!("array {} has no references to optimize", name(a))
+            }
+            LayoutError::ApproximationTooInaccurate { array, inaccuracy } => format!(
+                "indexed references to array {} approximate too poorly ({:.0}% inaccuracy)",
+                name(array),
+                inaccuracy * 100.0
+            ),
+            LayoutError::NoPartitioningHyperplane(a) => {
+                format!(
+                    "no data partitioning hyperplane satisfies array {}",
+                    name(a)
+                )
+            }
+            LayoutError::UnroutableMapping => self.to_string(),
+            LayoutError::BadInterleaveUnit {
+                array,
+                unit_bytes,
+                elem_size,
+            } => format!(
+                "interleave unit of {unit_bytes} B is not a multiple of array {}'s \
+                 {elem_size} B element size",
+                name(array)
+            ),
+        }
+    }
 }
 
 impl fmt::Display for LayoutError {
@@ -56,8 +117,55 @@ impl fmt::Display for LayoutError {
                     "L2-to-MC mapping does not partition the memory controllers"
                 )
             }
+            LayoutError::BadInterleaveUnit {
+                array,
+                unit_bytes,
+                elem_size,
+            } => write!(
+                f,
+                "interleave unit of {unit_bytes} B is not a multiple of array #{}'s \
+                 {elem_size} B element size",
+                array.0
+            ),
         }
     }
 }
 
 impl std::error::Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoploc_affine::ArrayDecl;
+
+    #[test]
+    fn render_uses_array_names() {
+        let mut p = Program::new("t");
+        let x = p.add_array(ArrayDecl::new("velocity", vec![64], 8));
+        let e = LayoutError::NoPartitioningHyperplane(x);
+        assert!(e.render(&p).contains("`velocity`"));
+        // The bare Display still works without a program.
+        assert!(e.to_string().contains("#0"));
+    }
+
+    #[test]
+    fn render_survives_stale_ids() {
+        let p = Program::new("t");
+        let e = LayoutError::NoReferences(ArrayId(7));
+        assert!(e.render(&p).contains("stale id"));
+    }
+
+    #[test]
+    fn bad_unit_reports_both_sizes() {
+        let mut p = Program::new("t");
+        let x = p.add_array(ArrayDecl::new("X", vec![64], 12));
+        let e = LayoutError::BadInterleaveUnit {
+            array: x,
+            unit_bytes: 256,
+            elem_size: 12,
+        };
+        let r = e.render(&p);
+        assert!(r.contains("256 B") && r.contains("12 B") && r.contains("`X`"));
+        assert_eq!(e.array(), Some(x));
+    }
+}

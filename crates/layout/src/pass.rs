@@ -172,6 +172,27 @@ pub fn optimize_program(
     for (i, decl) in program.arrays().iter().enumerate() {
         let array = ArrayId(i);
         let total_refs = program.refs_to(array).count();
+
+        // A unit that holds no whole number of elements cannot be laid out
+        // (customization would panic); report it instead of optimizing.
+        // Reachable from user-supplied `PassConfig::line_bytes`/`page_bytes`.
+        if unit == 0 || !unit.is_multiple_of(decl.elem_size()) {
+            layouts.push(ArrayLayout::original(decl));
+            reports.push(ArrayReport {
+                array,
+                name: decl.name().to_string(),
+                optimized: false,
+                reason: Some(LayoutError::BadInterleaveUnit {
+                    array,
+                    unit_bytes: unit,
+                    elem_size: decl.elem_size(),
+                }),
+                satisfied_refs: 0,
+                total_refs,
+            });
+            continue;
+        }
+
         let (indexed_ok, indexed_bad, worst_inaccuracy) =
             classify_indexed(program, array, config.approx_threshold);
         let affine_refs = program
@@ -394,6 +415,25 @@ mod tests {
         };
         let out = optimize_program(&p, &mapping(), cfg);
         assert_eq!(out.layout(ArrayId(0)).unit_elems(), 4096 / 8);
+    }
+
+    #[test]
+    fn bad_interleave_unit_reported_not_panicked() {
+        let p = stencil_program();
+        let cfg = PassConfig {
+            line_bytes: 100, // not a multiple of the 8 B element size
+            ..PassConfig::default()
+        };
+        let out = optimize_program(&p, &mapping(), cfg);
+        assert!(out.layout(ArrayId(0)).is_original());
+        assert!(matches!(
+            out.reports()[0].reason,
+            Some(LayoutError::BadInterleaveUnit {
+                unit_bytes: 100,
+                elem_size: 8,
+                ..
+            })
+        ));
     }
 
     #[test]

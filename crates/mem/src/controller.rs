@@ -280,7 +280,7 @@ impl MemoryController {
                     .iter()
                     .map(|p| p.arrival)
                     .min()
-                    .expect("non-empty queue");
+                    .expect("invariant: this bank passed the non-empty filter above");
                 b.free_at.max(earliest)
             })
             .min()
@@ -301,7 +301,7 @@ impl MemoryController {
                     .iter()
                     .map(|p| p.arrival)
                     .min()
-                    .expect("non-empty");
+                    .expect("invariant: the loop breaks before this when the queue is empty");
                 let start = bank.free_at.max(earliest);
                 if start >= horizon {
                     break;
@@ -317,7 +317,10 @@ impl MemoryController {
                 let pick = candidates
                     .min_by_key(|(_, p)| (if Some(p.row) == open { 0u8 } else { 1u8 }, p.seq))
                     .map(|(i, _)| i)
-                    .expect("at least one candidate at start time");
+                    .expect(
+                        "invariant: start >= the queue's minimum arrival, so at least \
+                         the earliest-arriving request passes the arrival filter",
+                    );
                 let p = self.banks[b].queue.swap_remove(pick);
                 let hit = self.config.row_policy == RowPolicy::Open
                     && self.banks[b].open_row == Some(p.row);

@@ -174,12 +174,18 @@ impl L2ToMcMapping {
                         (i, d)
                     })
                     .min_by_key(|&(i, d)| (d, i))
-                    .expect("at least one MC remains");
+                    .expect(
+                        "invariant: the loop assigns one MC per cluster and there are \
+                         exactly as many clusters as MCs, so an unused MC remains",
+                    );
                 used[best] = true;
                 assignments.push(vec![McId(best as u16)]);
             }
         }
-        Self::new(mesh, cw, ch, mc_nodes, assignments).expect("constructed mapping is valid")
+        Self::new(mesh, cw, ch, mc_nodes, assignments).expect(
+            "invariant: the tiling was asserted even and the loop assigned one \
+                 distinct in-range MC per cluster, satisfying every Self::new check",
+        )
     }
 
     /// The paper's alternate mapping **M2** (Figure 8b): two half-mesh
@@ -211,8 +217,10 @@ impl L2ToMcMapping {
             }
         }
         assert_eq!(left.len(), 2, "placement must put two MCs on each side");
-        Self::new(mesh, cw, mesh.height(), mc_nodes, vec![left, right])
-            .expect("constructed mapping is valid")
+        Self::new(mesh, cw, mesh.height(), mc_nodes, vec![left, right]).expect(
+            "invariant: the asserted 2+2 left/right split gives both clusters \
+                 equal non-empty in-range MC sets, satisfying every Self::new check",
+        )
     }
 
     /// The mesh this mapping is defined over.
@@ -305,7 +313,7 @@ impl L2ToMcMapping {
             .enumerate()
             .map(|(i, &m)| (i, self.mesh.hop_distance(n, m)))
             .min_by_key(|&(i, d)| (d, i))
-            .expect("mapping has at least one MC");
+            .expect("invariant: Self::new rejects mappings with an empty MC set");
         McId(best as u16)
     }
 

@@ -279,9 +279,12 @@ impl Network {
         let (idx, &u) = util
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite utilizations"))
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .expect("invariant: flit counts over elapsed.max(1) are finite, never NaN")
+            })
             .map(|(i, _)| (i, &util[i]))
-            .expect("network has links");
+            .expect("invariant: a mesh has at least one node, hence four directed links");
         (NodeId((idx / 4) as u16), idx % 4, u)
     }
 

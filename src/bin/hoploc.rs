@@ -3,8 +3,16 @@
 //! ```text
 //! hoploc apps                      list the modelled applications
 //! hoploc compile <app>             run the layout pass, print coverage + code
+//! hoploc check <app|all>           statically verify layouts, races, bounds
 //! hoploc run <app> [options]       simulate baseline vs optimized
 //! hoploc sweep [options]           run the whole suite, one row per app
+//!
+//! `check` proves every layout recipe injective and in-bounds, re-derives
+//! the dependence verdicts behind each nest's parallel dimension, and
+//! lints accesses against the declared array bounds — over all four
+//! layout configurations ({private, shared} × {cacheline, page}) — and
+//! reports structured `HLxxxx` diagnostics. Exit status is nonzero on
+//! errors (or on warnings too, under `--deny warnings`).
 //!
 //! options:
 //!   --page | --cacheline           interleaving granularity (default cacheline)
@@ -18,11 +26,17 @@
 //!                                  (default: available parallelism)
 //!   --json <path|->                also write a machine-readable JSON
 //!                                  summary of every run (- for stdout)
+//!   --deny warnings                (check) treat warnings as fatal
 //! ```
 
 use hoploc::affine::parallelization_is_legal;
-use hoploc::harness::{default_jobs, render_table, to_json, RunSpec, Suite};
-use hoploc::layout::{codegen, determine_data_to_core, Granularity, L2Mode};
+use hoploc::check::{
+    check_layout, check_program, count, render_json, render_text, should_fail, CheckConfig,
+};
+use hoploc::harness::{default_jobs, parallel_map, render_table, to_json, RunSpec, Suite};
+use hoploc::layout::{
+    codegen, determine_data_to_core, optimize_program, Granularity, L2Mode, PassConfig,
+};
 use hoploc::noc::{L2ToMcMapping, McPlacement};
 use hoploc::sim::{Improvement, SimConfig};
 use hoploc::workloads::{all_apps, layout_for, App, RunKind, Scale};
@@ -38,6 +52,7 @@ struct Options {
     scale: Scale,
     jobs: usize,
     json: Option<String>,
+    deny_warnings: bool,
 }
 
 impl Options {
@@ -52,6 +67,7 @@ impl Options {
             scale: Scale::Bench,
             jobs: default_jobs(),
             json: None,
+            deny_warnings: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -77,6 +93,10 @@ impl Options {
                     let v = it.next().ok_or("--json needs a path (or -)")?;
                     o.json = Some(v.clone());
                 }
+                "--deny" => match it.next().map(String::as_str) {
+                    Some("warnings") => o.deny_warnings = true,
+                    other => return Err(format!("--deny only takes `warnings`, got {other:?}")),
+                },
                 "--scale" => match it.next().map(String::as_str) {
                     Some("test") => o.scale = Scale::Test,
                     Some("bench") => o.scale = Scale::Bench,
@@ -176,7 +196,9 @@ fn cmd_compile(app: &App, o: &Options) {
                 "  {:<10} optimized   ({}/{} references satisfied)",
                 r.name, r.satisfied_refs, r.total_refs
             ),
-            (Some(e), false) => println!("  {:<10} skipped     ({e})", r.name),
+            (Some(e), false) => {
+                println!("  {:<10} skipped     ({})", r.name, e.render(&app.program))
+            }
             (None, false) => println!("  {:<10} skipped", r.name),
         }
     }
@@ -218,6 +240,96 @@ fn cmd_compile(app: &App, o: &Options) {
             "{}",
             codegen::render_customized(&app.program, nest, &d2cs, layout.layouts())
         );
+    }
+}
+
+/// The four layout configurations `check` verifies for every application.
+fn check_configs() -> [(&'static str, PassConfig); 4] {
+    let base = PassConfig::default();
+    [
+        (
+            "private/cacheline",
+            PassConfig {
+                l2_mode: L2Mode::Private,
+                granularity: Granularity::CacheLine,
+                ..base
+            },
+        ),
+        (
+            "private/page",
+            PassConfig {
+                l2_mode: L2Mode::Private,
+                granularity: Granularity::Page,
+                ..base
+            },
+        ),
+        (
+            "shared/cacheline",
+            PassConfig {
+                l2_mode: L2Mode::Shared,
+                granularity: Granularity::CacheLine,
+                ..base
+            },
+        ),
+        (
+            "shared/page",
+            PassConfig {
+                l2_mode: L2Mode::Shared,
+                granularity: Granularity::Page,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn cmd_check(target: &str, o: &Options) -> ExitCode {
+    let apps = if target == "all" {
+        all_apps(o.scale)
+    } else {
+        match find_app(target, o.scale) {
+            Some(app) => vec![app],
+            None => {
+                eprintln!("unknown application {target}; try `hoploc apps` (or `check all`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let sim = o.sim();
+    let mapping = o.mapping(&sim);
+    let cfg = CheckConfig::default();
+    let configs = check_configs();
+    let diags: Vec<_> = parallel_map(&apps, o.jobs, |app| {
+        let mut d = check_program(&app.program, &cfg);
+        for (label, pass) in &configs {
+            let layout = optimize_program(&app.program, &mapping, *pass);
+            d.extend(check_layout(&app.program, &layout, label, &cfg));
+        }
+        d
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    print!("{}", render_text(&diags));
+    let c = count(&diags);
+    println!(
+        "checked {} application(s) x {} layout configuration(s): \
+         {} error(s), {} warning(s), {} note(s)",
+        apps.len(),
+        configs.len(),
+        c.errors,
+        c.warnings,
+        c.notes
+    );
+    if let Some(json_target) = &o.json {
+        if let Err(e) = emit_json(json_target, &render_json(&diags)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if should_fail(&diags, o.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -337,7 +449,10 @@ fn cmd_sweep(o: &Options) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
-        eprintln!("usage: hoploc <apps|compile <app>|run <app>|links <app>|sweep> [options]");
+        eprintln!(
+            "usage: hoploc <apps|compile <app>|check <app|all>|run <app>|links <app>|sweep> \
+             [options]"
+        );
         eprintln!("see the module docs (or README.md) for the option list");
         ExitCode::FAILURE
     };
@@ -345,7 +460,7 @@ fn main() -> ExitCode {
         return usage();
     };
     let rest_start = match cmd.as_str() {
-        "compile" | "run" | "links" => 2,
+        "compile" | "run" | "links" | "check" => 2,
         _ => 1,
     };
     let opts = match Options::parse(&args[rest_start.min(args.len())..]) {
@@ -370,6 +485,12 @@ fn main() -> ExitCode {
                 "links" => cmd_links(app, &opts),
                 _ => cmd_run(app, &opts),
             }
+        }
+        "check" => {
+            let Some(target) = args.get(1) else {
+                return usage();
+            };
+            return cmd_check(target, &opts);
         }
         "sweep" => cmd_sweep(&opts),
         _ => return usage(),

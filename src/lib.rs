@@ -19,7 +19,10 @@
 //! * [`workloads`] — the paper's 13 SPEC-OMP/Mantevo applications modelled
 //!   as parameterized affine programs;
 //! * [`harness`] — the parallel, memoizing suite harness that fans the
-//!   (app × run-kind) matrix across threads with bit-identical results.
+//!   (app × run-kind) matrix across threads with bit-identical results;
+//! * [`check`] — the static verifier and lint pass (`hoploc check`):
+//!   layout legality, parallelization races, and affine bounds
+//!   diagnostics with stable `HLxxxx` codes.
 //!
 //! See `examples/quickstart.rs` for the fastest way to run an optimized
 //! vs. baseline comparison, and `hoploc sweep --jobs N` for the parallel
@@ -29,6 +32,7 @@
 
 pub use hoploc_affine as affine;
 pub use hoploc_cache as cache;
+pub use hoploc_check as check;
 pub use hoploc_harness as harness;
 pub use hoploc_layout as layout;
 pub use hoploc_mem as mem;

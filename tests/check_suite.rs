@@ -1,0 +1,175 @@
+//! `hoploc check` over the bundled suite: every application must verify
+//! clean (no errors, no warnings) in all four layout configurations, and
+//! injected defects must be caught with their documented HL codes.
+
+use hoploc::check::{
+    check_layout, check_program, count, render_json, should_fail, verify_array_layout, CheckConfig,
+    Code, Severity,
+};
+use hoploc::layout::{optimize_program, Granularity, L2Mode, PassConfig};
+use hoploc::noc::L2ToMcMapping;
+use hoploc::sim::SimConfig;
+use hoploc::workloads::{all_apps, Scale};
+
+fn configs() -> Vec<(&'static str, PassConfig)> {
+    let mut out = Vec::new();
+    for (l2_name, l2_mode) in [("private", L2Mode::Private), ("shared", L2Mode::Shared)] {
+        for (g_name, granularity) in [
+            ("cacheline", Granularity::CacheLine),
+            ("page", Granularity::Page),
+        ] {
+            out.push((
+                match (l2_name, g_name) {
+                    ("private", "cacheline") => "private/cacheline",
+                    ("private", "page") => "private/page",
+                    ("shared", "cacheline") => "shared/cacheline",
+                    _ => "shared/page",
+                },
+                PassConfig {
+                    granularity,
+                    l2_mode,
+                    ..PassConfig::default()
+                },
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn suite_checks_clean_in_every_configuration() {
+    let sim = SimConfig::default();
+    let mapping = L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement);
+    let cfg = CheckConfig::default();
+    let mut gating = Vec::new();
+    for app in all_apps(Scale::Test) {
+        let mut diags = check_program(&app.program, &cfg);
+        for (label, pass) in configs() {
+            let layout = optimize_program(&app.program, &mapping, pass);
+            diags.extend(check_layout(&app.program, &layout, label, &cfg));
+        }
+        for d in diags {
+            if d.severity() >= Severity::Warning {
+                gating.push(format!("{}: {:?}", app.name(), d));
+            }
+        }
+    }
+    assert!(
+        gating.is_empty(),
+        "suite must check clean, found:\n{}",
+        gating.join("\n")
+    );
+}
+
+#[test]
+#[ignore = "slow: full Bench-scale enumeration of every nest"]
+fn suite_checks_clean_at_bench_scale() {
+    let sim = SimConfig::default();
+    let mapping = L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement);
+    let cfg = CheckConfig::default();
+    let mut gating = Vec::new();
+    for app in all_apps(Scale::Bench) {
+        let mut diags = check_program(&app.program, &cfg);
+        for (label, pass) in configs() {
+            let layout = optimize_program(&app.program, &mapping, pass);
+            diags.extend(check_layout(&app.program, &layout, label, &cfg));
+        }
+        for d in diags {
+            if d.severity() >= Severity::Warning {
+                gating.push(format!("{}: {:?}", app.name(), d));
+            }
+        }
+    }
+    assert!(
+        gating.is_empty(),
+        "suite must check clean, found:\n{}",
+        gating.join("\n")
+    );
+}
+
+#[test]
+fn aliasing_plan_is_rejected() {
+    use hoploc::affine::{ArrayDecl, IMat};
+    use hoploc::layout::ArrayLayout;
+    let decl = ArrayDecl::new("X", vec![64, 32], 8);
+    let plan = ArrayLayout::from_parts(
+        &decl,
+        IMat::identity(2),
+        256,
+        vec![0; 32].into_iter().chain(vec![1; 32]).collect(),
+        vec![vec![0], vec![0]],
+        4,
+        4,
+    );
+    let d = verify_array_layout(&decl, &plan, "fixture", &CheckConfig::default());
+    let codes: Vec<_> = d.iter().map(|x| x.code).collect();
+    assert!(codes.contains(&Code::SlotAliasing), "{d:?}");
+    assert!(codes.contains(&Code::PlacementCollision), "{d:?}");
+    assert!(should_fail(&d, false));
+}
+
+#[test]
+fn illegal_parallel_dim_is_rejected() {
+    use hoploc::affine::{
+        AffineAccess, ArrayDecl, ArrayRef, IMat, IVec, Loop, LoopNest, Program, Statement,
+    };
+    // A recurrence along the parallel dimension, far beyond any halo.
+    let mut p = Program::new("bad-parallel");
+    let x = p.add_array(ArrayDecl::new("X", vec![256], 8));
+    p.add_nest(LoopNest::new(
+        vec![Loop::constant(0, 256)],
+        0,
+        vec![Statement::new(
+            vec![
+                ArrayRef::write(x, AffineAccess::identity(1)),
+                ArrayRef::read(
+                    x,
+                    AffineAccess::new(IMat::identity(1), IVec::new(vec![-64])),
+                ),
+            ],
+            1,
+        )],
+        1,
+    ));
+    let d = check_program(&p, &CheckConfig::default());
+    assert!(
+        d.iter()
+            .any(|x| x.code == Code::CarriedDependenceSpansChunks),
+        "{d:?}"
+    );
+    assert!(should_fail(&d, false));
+}
+
+#[test]
+fn deny_warnings_gates_and_json_stays_wellformed() {
+    use hoploc::affine::{
+        AffineAccess, ArrayDecl, ArrayRef, IMat, IVec, Loop, LoopNest, Program, Statement,
+    };
+    // A stencil reaching one past the extent: a warning, not an error.
+    let mut p = Program::new("edge");
+    let x = p.add_array(ArrayDecl::new("X", vec![64], 8));
+    p.add_nest(LoopNest::new(
+        vec![Loop::constant(0, 64)],
+        0,
+        vec![Statement::new(
+            vec![
+                ArrayRef::write(x, AffineAccess::identity(1)),
+                ArrayRef::read(x, AffineAccess::new(IMat::identity(1), IVec::new(vec![1]))),
+            ],
+            1,
+        )],
+        1,
+    ));
+    let d = check_program(&p, &CheckConfig::default());
+    let c = count(&d);
+    assert!(c.errors == 0 && c.warnings > 0, "{d:?}");
+    assert!(!should_fail(&d, false));
+    assert!(should_fail(&d, true));
+    let json = render_json(&d);
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced JSON"
+    );
+    assert!(json.contains("\"HL0301\""), "{json}");
+}
