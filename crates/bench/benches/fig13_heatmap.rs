@@ -2,16 +2,21 @@
 //! for apsi, original vs optimized. In the original case requests come
 //! from all over the chip; optimized, they skew toward the nearby
 //! (top-left) quadrant.
+//!
+//! The map is read off the observability layer's `sim.node_mc_requests`
+//! counter family ([`ObsReport::mc_request_shares`]), which mirrors
+//! `RunStats::node_mc_requests` exactly — same rows as the pre-obs
+//! version of this harness.
 
-use hoploc_bench::{banner, m1, standard_config};
+use hoploc_bench::{banner, m1, obs_counters_only, standard_config};
 use hoploc_harness::Suite;
 use hoploc_layout::Granularity;
-use hoploc_sim::RunStats;
+use hoploc_obs::ObsReport;
 use hoploc_workloads::{apsi, RunKind, Scale};
 
-fn print_map(label: &str, stats: &RunStats, width: usize) {
+fn print_map(label: &str, report: &ObsReport, width: usize) {
     println!("\n{label}: share of MC1's requests from each node (x100)");
-    let shares = stats.mc_request_shares(0);
+    let shares = report.mc_request_shares(0);
     for y in 0..shares.len() / width {
         for x in 0..width {
             print!("{:>5.1}", shares[y * width + x] * 100.0);
@@ -41,7 +46,11 @@ fn main() {
     let mapping = m1(sim.mesh);
     let width = sim.mesh.width() as usize;
     let s = Suite::new(vec![apsi(Scale::Bench)], mapping, sim);
-    let records = s.run_full(&[RunKind::Baseline, RunKind::Optimized], 2);
-    print_map("ORIGINAL", &records[0].stats, width);
-    print_map("OPTIMIZED", &records[1].stats, width);
+    let records = s.run_full_traced(
+        &[RunKind::Baseline, RunKind::Optimized],
+        2,
+        obs_counters_only(),
+    );
+    print_map("ORIGINAL", &records[0].report, width);
+    print_map("OPTIMIZED", &records[1].report, width);
 }

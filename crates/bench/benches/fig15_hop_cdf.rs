@@ -3,10 +3,15 @@
 //! paper's observation: the optimization shifts the *off-chip* CDF left
 //! (e.g. 22% → 31% of requests within 4 links) while barely moving the
 //! on-chip CDF — on-chip gains come from reduced contention, not distance.
+//!
+//! The histograms are read off the observability layer's
+//! `net.{onchip,offchip}.hop_hist` counter families, which mirror the
+//! NoC's `ClassStats::hop_histogram` exactly — same rows as the pre-obs
+//! version of this harness.
 
-use hoploc_bench::{banner, bench_suite, m1, standard_config, sweep_pair};
+use hoploc_bench::{banner, bench_suite, m1, standard_config, sweep_pair_traced};
 use hoploc_layout::Granularity;
-use hoploc_noc::MAX_HOPS;
+use hoploc_obs::HOP_HIST_LEN;
 use hoploc_workloads::RunKind;
 
 fn main() {
@@ -17,17 +22,17 @@ fn main() {
     let sim = standard_config(Granularity::CacheLine);
     let s = bench_suite(sim.clone(), m1(sim.mesh));
 
-    let mut hists = [[0u64; MAX_HOPS]; 4]; // on-base, on-opt, off-base, off-opt
-    for (_, base, opt) in sweep_pair(&s, RunKind::Baseline, RunKind::Optimized) {
+    let mut hists = [[0u64; HOP_HIST_LEN]; 4]; // on-base, on-opt, off-base, off-opt
+    for (_, base, opt) in sweep_pair_traced(&s, RunKind::Baseline, RunKind::Optimized) {
         #[allow(clippy::needless_range_loop)]
-        for h in 0..MAX_HOPS {
-            hists[0][h] += base.net.on_chip.hop_histogram[h];
-            hists[1][h] += opt.net.on_chip.hop_histogram[h];
-            hists[2][h] += base.net.off_chip.hop_histogram[h];
-            hists[3][h] += opt.net.off_chip.hop_histogram[h];
+        for h in 0..HOP_HIST_LEN {
+            hists[0][h] += base.hop_histogram("onchip")[h];
+            hists[1][h] += opt.hop_histogram("onchip")[h];
+            hists[2][h] += base.hop_histogram("offchip")[h];
+            hists[3][h] += opt.hop_histogram("offchip")[h];
         }
     }
-    let cdf = |hist: &[u64; MAX_HOPS]| -> Vec<f64> {
+    let cdf = |hist: &[u64; HOP_HIST_LEN]| -> Vec<f64> {
         let total: u64 = hist.iter().sum();
         let mut acc = 0u64;
         hist.iter()

@@ -2,8 +2,13 @@
 //! under the M1 mapping. The paper's point: fma3d and minighost show far
 //! higher occupancy than the rest — the memory-parallelism demand that
 //! makes them prefer M2.
+//!
+//! The occupancy is read off the observability layer's `mc.queue_cycles`
+//! counter family ([`ObsReport::bank_queue_occupancy`]), which replicates
+//! `RunStats::bank_queue_occupancy` arithmetic exactly — same rows as the
+//! pre-obs version of this harness.
 
-use hoploc_bench::{banner, bar, bench_suite, m1, standard_config};
+use hoploc_bench::{banner, bar, bench_suite, m1, obs_counters_only, standard_config};
 use hoploc_harness::default_jobs;
 use hoploc_layout::Granularity;
 use hoploc_workloads::RunKind;
@@ -16,8 +21,8 @@ fn main() {
     let sim = standard_config(Granularity::CacheLine);
     let s = bench_suite(sim.clone(), m1(sim.mesh));
     println!("{:<11} {:>10}", "app", "occupancy");
-    for r in s.run_full(&[RunKind::Optimized], default_jobs()) {
-        let occ = r.stats.bank_queue_occupancy();
+    for r in s.run_full_traced(&[RunKind::Optimized], default_jobs(), obs_counters_only()) {
+        let occ = r.report.bank_queue_occupancy();
         println!("{:<11} {:>10.2}  {}", r.app, occ, bar(occ, 4.0));
     }
 }

@@ -16,9 +16,10 @@
 
 #![forbid(unsafe_code)]
 
-use hoploc_harness::{default_jobs, RunRecord, Suite};
+use hoploc_harness::{default_jobs, RunRecord, Suite, TracedRecord};
 use hoploc_layout::Granularity;
 use hoploc_noc::{L2ToMcMapping, McPlacement, Mesh};
+use hoploc_obs::{ObsConfig, ObsReport};
 use hoploc_sim::{Improvement, RunStats, SimConfig};
 use hoploc_workloads::{all_apps, App, RunKind, Scale};
 use std::time::Instant;
@@ -75,6 +76,46 @@ pub fn sweep_pair(s: &Suite, base: RunKind, other: RunKind) -> Vec<(String, RunS
             let o = recs.pop().expect("two kinds");
             let b = recs.pop().expect("two kinds");
             (b.app, b.stats, o.stats)
+        })
+        .collect()
+}
+
+/// The counter-only observability configuration figure sweeps use: the
+/// metric registry is live (the figures read it) but no span events are
+/// buffered, so the sweep stays cheap.
+pub fn obs_counters_only() -> ObsConfig {
+    ObsConfig {
+        record_spans: false,
+        ..ObsConfig::default()
+    }
+}
+
+/// [`sweep_kinds`] with counter-only observability on every cell:
+/// `result[a][k]` is app `a` under `kinds[k]`, carrying both the stats and
+/// the [`ObsReport`] whose counters mirror them exactly.
+pub fn sweep_kinds_traced(s: &Suite, kinds: &[RunKind]) -> Vec<Vec<TracedRecord>> {
+    let records = s.run_full_traced(kinds, default_jobs(), obs_counters_only());
+    let napps = s.apps().len();
+    let mut per_app: Vec<Vec<TracedRecord>> = (0..napps).map(|_| Vec::new()).collect();
+    for (i, r) in records.into_iter().enumerate() {
+        per_app[i % napps].push(r);
+    }
+    per_app
+}
+
+/// [`sweep_pair`] over observability reports: baseline-vs-other per app,
+/// as `(name, baseline report, other report)` rows in suite order.
+pub fn sweep_pair_traced(
+    s: &Suite,
+    base: RunKind,
+    other: RunKind,
+) -> Vec<(String, ObsReport, ObsReport)> {
+    sweep_kinds_traced(s, &[base, other])
+        .into_iter()
+        .map(|mut recs| {
+            let o = recs.pop().expect("two kinds");
+            let b = recs.pop().expect("two kinds");
+            (b.app, b.report, o.report)
         })
         .collect()
 }

@@ -6,6 +6,7 @@
 //! granularity, which lets the same structure serve 64 B L1 lines and
 //! 256 B L2 lines (Table 1).
 
+use hoploc_obs::{CacheTag, Sink};
 use std::fmt;
 
 /// Geometry of a cache.
@@ -196,6 +197,22 @@ impl SetAssocCache {
         self.access_rw(line, false)
     }
 
+    /// Like [`access_rw`](Self::access_rw), additionally mirroring the
+    /// hit/miss/eviction outcome into `sink` as per-node counters for the
+    /// cache identified by `tag`. `ts` is the access's sim-cycle time.
+    pub fn access_rw_obs(
+        &mut self,
+        line: u64,
+        write: bool,
+        ts: u64,
+        tag: CacheTag,
+        sink: &Sink,
+    ) -> AccessResult {
+        let r = self.access_rw(line, write);
+        sink.cache_access(tag, ts, r.hit, r.evicted.is_some(), r.evicted_dirty);
+        r
+    }
+
     /// Like [`access`](Self::access), additionally marking the line dirty
     /// when `write` is set, and reporting the evicted line's dirtiness so
     /// the caller can issue a writeback.
@@ -358,6 +375,30 @@ mod tests {
         let r = c.access_rw(5, false); // evicts LRU = 1
         assert_eq!(r.evicted, Some(1));
         assert!(r.evicted_dirty);
+    }
+
+    #[test]
+    fn access_rw_obs_mirrors_per_node_counters() {
+        use hoploc_obs::{ObsConfig, Topology};
+        let topo = Topology {
+            mesh_width: 2,
+            mesh_height: 2,
+            mcs: 1,
+            banks_per_mc: 1,
+        };
+        let sink = Sink::recording(topo, ObsConfig::default());
+        let mut c = tiny();
+        c.access_rw_obs(0, true, 0, CacheTag::l2(3), &sink);
+        c.access_rw_obs(0, false, 1, CacheTag::l2(3), &sink);
+        c.access_rw_obs(2, false, 2, CacheTag::l2(3), &sink);
+        c.access_rw_obs(4, false, 3, CacheTag::l2(3), &sink); // evicts 0 or 2
+        c.access_rw_obs(9, false, 4, CacheTag::l1(1), &sink);
+        let rep = sink.into_report(10).unwrap();
+        assert_eq!(rep.counter_family("cache.l2.accesses")[3], 4);
+        assert_eq!(rep.counter_family("cache.l2.hits")[3], c.stats().hits);
+        assert_eq!(rep.counter_family("cache.l2.evictions")[3], 1);
+        assert_eq!(rep.counter_family("cache.l1.accesses")[1], 1);
+        assert_eq!(rep.counter_family("cache.l1.hits")[1], 0);
     }
 
     #[test]

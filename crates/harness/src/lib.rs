@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use hoploc_noc::{L2ToMcMapping, McId};
+use hoploc_obs::{ObsConfig, ObsReport};
 use hoploc_sim::{AddressSpace, PagePolicy, RunStats, SimConfig, Simulator, TraceWorkload};
 use hoploc_workloads::{layout_for, App, RunKind, TraceGen};
 
@@ -59,6 +60,20 @@ pub struct RunRecord {
     pub kind: RunKind,
     /// Full simulation statistics.
     pub stats: RunStats,
+}
+
+/// A finished traced run: statistics plus the observability report
+/// (spans, metric registry, exportable snapshots).
+#[derive(Debug)]
+pub struct TracedRecord {
+    /// Application name.
+    pub app: String,
+    /// Run kind.
+    pub kind: RunKind,
+    /// Full simulation statistics.
+    pub stats: RunStats,
+    /// The run's observability report.
+    pub report: ObsReport,
 }
 
 /// Which compiled layout a run kind uses — the cache key discriminant.
@@ -230,9 +245,9 @@ impl Suite {
         })
     }
 
-    /// Runs one matrix cell. Pure in the spec: bit-identical to
-    /// `hoploc_workloads::run_app_threads` with the same arguments.
-    pub fn run_one(&self, spec: RunSpec) -> RunStats {
+    /// Builds the simulator and workload for one matrix cell — the shared
+    /// setup under both the plain and traced run paths.
+    fn prepare(&self, spec: RunSpec) -> (Simulator, Arc<TraceBundle>) {
         let app = &self.apps[spec.app];
         let class = LayoutClass::of(spec.kind);
         let bundle = self.traces(spec.app, class);
@@ -250,7 +265,24 @@ impl Suite {
         let mut cfg = self.sim.clone();
         cfg.optimal = spec.kind == RunKind::Optimal;
         cfg.mlp = app.mlp;
-        Simulator::new(cfg, self.mapping.clone(), policy).run(&bundle.workload)
+        let sim = Simulator::new(cfg, self.mapping.clone(), policy);
+        (sim, bundle)
+    }
+
+    /// Runs one matrix cell. Pure in the spec: bit-identical to
+    /// `hoploc_workloads::run_app_threads` with the same arguments.
+    pub fn run_one(&self, spec: RunSpec) -> RunStats {
+        let (sim, bundle) = self.prepare(spec);
+        sim.run(&bundle.workload)
+    }
+
+    /// Runs one matrix cell with observability enabled. The statistics are
+    /// bit-identical to [`run_one`](Self::run_one) — the sink only mirrors
+    /// what the models already compute — and the report's counters mirror
+    /// those statistics exactly.
+    pub fn run_one_traced(&self, spec: RunSpec, obs: ObsConfig) -> (RunStats, ObsReport) {
+        let (sim, bundle) = self.prepare(spec);
+        sim.with_obs(obs).run_traced(&bundle.workload)
     }
 
     /// Runs a matrix of specs across `jobs` worker threads and collects
@@ -274,6 +306,40 @@ impl Suite {
     /// Convenience: run the full (apps × kinds) matrix.
     pub fn run_full(&self, kinds: &[RunKind], jobs: usize) -> Vec<RunRecord> {
         self.run_matrix(&self.full_matrix(kinds), jobs)
+    }
+
+    /// Runs a matrix of specs with observability enabled on every cell,
+    /// across `jobs` workers, collected by index like
+    /// [`run_matrix`](Self::run_matrix). Each run owns its sink, so the
+    /// parallel fan-out stays deterministic: only the finished
+    /// [`ObsReport`]s (plain data) cross threads.
+    pub fn run_matrix_traced(
+        &self,
+        specs: &[RunSpec],
+        jobs: usize,
+        obs: ObsConfig,
+    ) -> Vec<TracedRecord> {
+        let results = parallel_map(specs, jobs, |spec| self.run_one_traced(*spec, obs));
+        specs
+            .iter()
+            .zip(results)
+            .map(|(spec, (stats, report))| TracedRecord {
+                app: self.apps[spec.app].name().to_string(),
+                kind: spec.kind,
+                stats,
+                report,
+            })
+            .collect()
+    }
+
+    /// Convenience: run the full (apps × kinds) matrix with tracing.
+    pub fn run_full_traced(
+        &self,
+        kinds: &[RunKind],
+        jobs: usize,
+        obs: ObsConfig,
+    ) -> Vec<TracedRecord> {
+        self.run_matrix_traced(&self.full_matrix(kinds), jobs, obs)
     }
 
     /// Cache counters accumulated so far.
@@ -475,6 +541,31 @@ mod tests {
         // serve all 6 runs.
         assert_eq!(c.trace_misses, 2, "{c:?}");
         assert_eq!(c.trace_hits, 4, "{c:?}");
+    }
+
+    #[test]
+    fn traced_matrix_matches_untraced_and_is_deterministic() {
+        let s = suite2();
+        let kinds = [RunKind::Baseline, RunKind::Optimized];
+        let specs = s.full_matrix(&kinds);
+        let plain = s.run_matrix(&specs, 2);
+        let par = s.run_matrix_traced(&specs, 4, ObsConfig::default());
+        let seq = s.run_matrix_traced(&specs, 1, ObsConfig::default());
+        for ((p, q), r) in par.iter().zip(&seq).zip(&plain) {
+            assert_eq!(p.stats, r.stats, "tracing perturbed the simulation");
+            assert_eq!(p.stats, q.stats, "jobs=4 diverged from jobs=1");
+            assert_eq!(
+                p.report.metrics_json(),
+                q.report.metrics_json(),
+                "metrics snapshot differs across job counts"
+            );
+            assert_eq!(
+                p.report.chrome_trace_json(),
+                q.report.chrome_trace_json(),
+                "event stream differs across job counts"
+            );
+            assert_eq!(p.report.offchip(), r.stats.offchip_accesses);
+        }
     }
 
     #[test]

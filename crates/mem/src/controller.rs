@@ -17,6 +17,7 @@
 //! [`flush`]: MemoryController::flush
 
 use crate::timing::DramTiming;
+use hoploc_obs::Sink;
 use std::fmt;
 
 /// Row-buffer management policy.
@@ -219,6 +220,23 @@ impl MemoryController {
     /// Requests must be submitted in non-decreasing `now` order; this is
     /// checked in debug builds.
     pub fn enqueue(&mut self, addr: u64, token: u64, now: u64) -> Vec<Completion> {
+        self.enqueue_obs(addr, token, now, 0, &Sink::disabled())
+    }
+
+    /// [`enqueue`](Self::enqueue) with observability: queue-depth samples
+    /// and per-bank service spans recorded into `sink`, attributed to
+    /// controller `mc`. The untraced [`enqueue`](Self::enqueue) delegates
+    /// here with a disabled sink, so traced and untraced runs share one
+    /// scheduling path and the mirrored counters match
+    /// [`stats`](Self::stats) by construction.
+    pub fn enqueue_obs(
+        &mut self,
+        addr: u64,
+        token: u64,
+        now: u64,
+        mc: u16,
+        sink: &Sink,
+    ) -> Vec<Completion> {
         if self.config.ideal {
             // Optimal scheme: fixed row-hit service, no queueing, no bank
             // or channel contention.
@@ -226,6 +244,9 @@ impl MemoryController {
             self.stats.served += 1;
             self.stats.row_hits += 1;
             self.stats.total_service_cycles += service;
+            let row = addr / self.config.row_bytes;
+            let bank = (row % self.config.banks as u64) as u16;
+            sink.bank_service(mc, bank, token, now, now, now + service, true, 0);
             return vec![Completion {
                 token,
                 finish: now + service,
@@ -234,7 +255,7 @@ impl MemoryController {
             }];
         }
         // Finalize all service decisions that start before this arrival.
-        let mut done = self.drain_until(now);
+        let mut done = self.drain_until(now, mc, sink);
         let row = addr / self.config.row_bytes;
         let bank = (row % self.config.banks as u64) as usize;
         self.banks[bank].queue.push(Pending {
@@ -248,15 +269,22 @@ impl MemoryController {
         if depth > self.stats.max_queue_depth {
             self.stats.max_queue_depth = depth;
         }
+        sink.mc_enqueue(mc, depth, now);
         // The new arrival itself may start service immediately.
-        done.extend(self.drain_until(now + 1));
+        done.extend(self.drain_until(now + 1, mc, sink));
         done
     }
 
     /// Drains every remaining queued request, returning their completions.
     /// Call once no further arrivals are possible.
     pub fn flush(&mut self) -> Vec<Completion> {
-        self.drain_until(u64::MAX)
+        self.flush_obs(0, &Sink::disabled())
+    }
+
+    /// [`flush`](Self::flush) with observability (see
+    /// [`enqueue_obs`](Self::enqueue_obs)).
+    pub fn flush_obs(&mut self, mc: u16, sink: &Sink) -> Vec<Completion> {
+        self.drain_until(u64::MAX, mc, sink)
     }
 
     /// Advances scheduling up to (and including) cycle `now`, finalizing
@@ -264,7 +292,13 @@ impl MemoryController {
     /// calls this from poll events so blocked requesters make progress even
     /// when no further arrivals occur.
     pub fn poll(&mut self, now: u64) -> Vec<Completion> {
-        self.drain_until(now.saturating_add(1))
+        self.poll_obs(now, 0, &Sink::disabled())
+    }
+
+    /// [`poll`](Self::poll) with observability (see
+    /// [`enqueue_obs`](Self::enqueue_obs)).
+    pub fn poll_obs(&mut self, now: u64, mc: u16, sink: &Sink) -> Vec<Completion> {
+        self.drain_until(now.saturating_add(1), mc, sink)
     }
 
     /// The earliest cycle at which a queued request could begin service, or
@@ -288,7 +322,7 @@ impl MemoryController {
 
     /// Serves queued requests whose service would start strictly before
     /// `horizon`.
-    fn drain_until(&mut self, horizon: u64) -> Vec<Completion> {
+    fn drain_until(&mut self, horizon: u64, mc: u16, sink: &Sink) -> Vec<Completion> {
         let mut done = Vec::new();
         for b in 0..self.banks.len() {
             loop {
@@ -349,6 +383,16 @@ impl MemoryController {
                 }
                 self.stats.total_queue_cycles += queue_cycles;
                 self.stats.total_service_cycles += service_cycles;
+                sink.bank_service(
+                    mc,
+                    b as u16,
+                    p.token,
+                    p.arrival,
+                    start,
+                    finish,
+                    hit,
+                    self.banks[b].queue.len(),
+                );
                 done.push(Completion {
                     token: p.token,
                     finish,
@@ -525,6 +569,63 @@ mod tests {
         done.extend(m.flush());
         assert_eq!(done.len(), 2);
         assert_eq!(m.stats().row_hits, 0, "closed-row policy must not hit");
+    }
+
+    #[test]
+    fn enqueue_obs_mirrors_stats_into_sink() {
+        use hoploc_obs::{ObsConfig, Topology};
+        let topo = Topology {
+            mesh_width: 1,
+            mesh_height: 1,
+            mcs: 2,
+            banks_per_mc: 8,
+        };
+        let sink = Sink::recording(topo, ObsConfig::default());
+        let mut m = mc();
+        for k in 0..30 {
+            m.enqueue_obs((k % 3) * 4096, k, k * 5, 1, &sink);
+        }
+        m.flush_obs(1, &sink);
+        let rep = sink.into_report(10_000).unwrap();
+        let s = m.stats();
+        assert_eq!(rep.counter_family("mc.served")[1], s.served);
+        assert_eq!(rep.counter_family("mc.row_hits")[1], s.row_hits);
+        assert_eq!(
+            rep.counter_family("mc.queue_cycles")[1],
+            s.total_queue_cycles
+        );
+        assert_eq!(
+            rep.counter_family("mc.service_cycles")[1],
+            s.total_service_cycles
+        );
+        // Other controller's slots stay untouched, and per-bank slots sum to
+        // the controller totals.
+        assert_eq!(rep.counter_family("mc.served")[0], 0);
+        let per_bank: u64 = rep.counter_family("mc.bank.served")[8..16].iter().sum();
+        assert_eq!(per_bank, s.served);
+    }
+
+    #[test]
+    fn ideal_mode_records_flat_services() {
+        use hoploc_obs::{ObsConfig, Topology};
+        let topo = Topology {
+            mesh_width: 1,
+            mesh_height: 1,
+            mcs: 1,
+            banks_per_mc: 8,
+        };
+        let sink = Sink::recording(topo, ObsConfig::default());
+        let mut m = MemoryController::new(McConfig {
+            ideal: true,
+            ..McConfig::default()
+        });
+        m.enqueue_obs(0, 1, 10, 0, &sink);
+        let rep = sink.into_report(100).unwrap();
+        assert_eq!(rep.counter_family("mc.served")[0], 1);
+        assert_eq!(rep.counter_family("mc.row_hits")[0], 1);
+        assert_eq!(rep.counter_family("mc.queue_cycles")[0], 0);
+        let h = rep.registry().histogram("mc.queue_wait_cycles").unwrap();
+        assert_eq!(h.quantile(1.0), 0, "ideal mode never queues");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! (cache/coherence) traffic.
 
 use crate::geometry::{Mesh, NodeId};
+use hoploc_obs::{NetClass, ReqTag, Sink};
 use std::fmt;
 
 /// Classification of a message for statistics, mirroring the paper's
@@ -227,6 +228,25 @@ impl Network {
         class: TrafficClass,
         now: u64,
     ) -> u64 {
+        self.send_obs(src, dst, bytes, class, now, ReqTag::NONE, &Sink::disabled())
+    }
+
+    /// [`send`](Self::send) with observability: per-hop link-wait/flit
+    /// events attributed to `tag` and per-class message counters mirrored
+    /// into `sink`. The untraced [`send`](Self::send) delegates here with a
+    /// disabled sink, so traced and untraced runs share one timing path and
+    /// the mirrored counters match [`stats`](Self::stats) by construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_obs(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        class: TrafficClass,
+        now: u64,
+        tag: ReqTag,
+        sink: &Sink,
+    ) -> u64 {
         let hops = self.mesh.hop_distance(src, dst) as usize;
         let flits = self.flits(bytes);
         let mut t = now;
@@ -246,6 +266,7 @@ impl Network {
                 } else {
                     t
                 };
+                sink.hop(link as u32, depart, depart - t, flits, tag);
                 // Wire + downstream router pipeline; the final hop still
                 // pays the router to reach the ejection port.
                 t = depart + self.config.hop_cycles + self.config.router_cycles;
@@ -260,6 +281,11 @@ impl Network {
         stats.total_latency += t - now;
         stats.total_hops += hops as u64;
         stats.hop_histogram[hops.min(MAX_HOPS - 1)] += 1;
+        let obs_class = match class {
+            TrafficClass::OnChip => NetClass::OnChip,
+            TrafficClass::OffChip => NetClass::OffChip,
+        };
+        sink.net_msg(obs_class, hops, t - now, now);
         t
     }
 
@@ -450,6 +476,62 @@ mod tests {
         assert_eq!(net.flits(16), 1);
         assert_eq!(net.flits(17), 2);
         assert_eq!(net.flits(256), 16);
+    }
+
+    #[test]
+    fn send_obs_mirrors_stats_into_sink() {
+        use hoploc_obs::{ObsConfig, Topology};
+        let mut net = net4();
+        let topo = Topology {
+            mesh_width: 4,
+            mesh_height: 4,
+            mcs: 1,
+            banks_per_mc: 1,
+        };
+        let sink = Sink::recording(topo, ObsConfig::default());
+        for d in [3u16, 12, 15, 0] {
+            net.send_obs(
+                NodeId(0),
+                NodeId(d),
+                64,
+                TrafficClass::OffChip,
+                5,
+                ReqTag::NONE,
+                &sink,
+            );
+        }
+        net.send_obs(
+            NodeId(1),
+            NodeId(2),
+            8,
+            TrafficClass::OnChip,
+            0,
+            ReqTag::NONE,
+            &sink,
+        );
+        let rep = sink.into_report(1000).unwrap();
+        let s = net.stats();
+        assert_eq!(rep.counter("net.offchip.msgs"), s.off_chip.messages);
+        assert_eq!(
+            rep.counter("net.offchip.latency_cycles"),
+            s.off_chip.total_latency
+        );
+        assert_eq!(rep.counter("net.offchip.hops"), s.off_chip.total_hops);
+        assert_eq!(
+            rep.hop_histogram("offchip"),
+            s.off_chip.hop_histogram.as_slice()
+        );
+        assert_eq!(rep.counter("net.onchip.msgs"), s.on_chip.messages);
+        assert_eq!(
+            rep.hop_histogram("onchip"),
+            s.on_chip.hop_histogram.as_slice()
+        );
+        // Link flit-cycle counters mirror the utilization accounting.
+        let flits = rep.counter_family("net.link.flit_cycles");
+        let util = net.link_utilization(1000);
+        for (link, &u) in util.iter().enumerate() {
+            assert!((u - flits[link] as f64 / 1000.0).abs() < 1e-12);
+        }
     }
 
     #[test]

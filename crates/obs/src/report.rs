@@ -1,0 +1,391 @@
+//! Frozen recording of one run: metric access, figure-level derived views,
+//! and the metrics-snapshot / link-heatmap exporters.
+//!
+//! All exports are deterministic: metrics serialize in registration order,
+//! events in a stable per-track order, and every number comes from sim-cycle
+//! arithmetic — so two runs of the same workload produce byte-identical
+//! output regardless of host threading.
+
+use crate::event::SpanEvent;
+use crate::hist::Histogram;
+use crate::registry::{Registry, WindowMode};
+use crate::sink::{ObsConfig, Topology};
+use std::fmt::Write as _;
+
+/// Immutable result of a traced run. Plain data: freely `Send` across the
+/// harness's worker threads.
+#[derive(Debug)]
+pub struct ObsReport {
+    topo: Topology,
+    config: ObsConfig,
+    exec_cycles: u64,
+    reg: Registry,
+    events: Vec<SpanEvent>,
+    dropped_spans: u64,
+}
+
+/// Direction letters matching the NoC's link encoding (`node*4 + dir`).
+pub const DIR_LETTERS: [char; 4] = ['E', 'W', 'N', 'S'];
+
+impl ObsReport {
+    pub(crate) fn from_parts(
+        topo: Topology,
+        config: ObsConfig,
+        exec_cycles: u64,
+        reg: Registry,
+        events: Vec<SpanEvent>,
+        dropped_spans: u64,
+    ) -> Self {
+        ObsReport {
+            topo,
+            config,
+            exec_cycles,
+            reg,
+            events,
+            dropped_spans,
+        }
+    }
+
+    /// Machine shape this run was recorded on.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Recording options used.
+    pub fn config(&self) -> ObsConfig {
+        self.config
+    }
+
+    /// Total executed cycles of the run.
+    pub fn exec_cycles(&self) -> u64 {
+        self.exec_cycles
+    }
+
+    /// The underlying metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// All recorded span events, in recording order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Requests whose spans were dropped by the span capacity cap.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
+    }
+
+    /// A scalar counter's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter was never registered (a typo in the caller).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counter_family(name)[0]
+    }
+
+    /// An indexed counter family's slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family was never registered.
+    pub fn counter_family(&self, name: &str) -> &[u64] {
+        self.reg
+            .counter_family(name)
+            .unwrap_or_else(|| panic!("unknown obs counter {name:?}"))
+    }
+
+    // ---- figure-level derived views ---------------------------------------
+
+    /// Off-chip requests observed.
+    pub fn offchip(&self) -> u64 {
+        self.counter("sim.offchip")
+    }
+
+    /// Hop histogram for a traffic class (`"onchip"` / `"offchip"`),
+    /// identical to the NoC's `ClassStats::hop_histogram`.
+    pub fn hop_histogram(&self, class: &str) -> &[u64] {
+        match class {
+            "onchip" => self.counter_family("net.onchip.hop_hist"),
+            "offchip" => self.counter_family("net.offchip.hop_hist"),
+            other => panic!("unknown traffic class {other:?}"),
+        }
+    }
+
+    /// Fraction of requests each node sent to controller `mc`, replicating
+    /// `RunStats::mc_request_shares` operation-for-operation (Figure 13).
+    pub fn mc_request_shares(&self, mc: usize) -> Vec<f64> {
+        let nodes = self.topo.nodes();
+        let mcs = self.topo.mcs;
+        let m = self.counter_family("sim.node_mc_requests");
+        let total: u64 = (0..nodes).map(|n| m[n * mcs + mc]).sum();
+        if total == 0 {
+            return vec![0.0; nodes];
+        }
+        (0..nodes)
+            .map(|n| m[n * mcs + mc] as f64 / total as f64)
+            .collect()
+    }
+
+    /// Mean bank-queue occupancy across controllers, replicating
+    /// `RunStats::bank_queue_occupancy` operation-for-operation (Figure 18).
+    pub fn bank_queue_occupancy(&self) -> f64 {
+        let q = self.counter_family("mc.queue_cycles");
+        if q.is_empty() || self.exec_cycles == 0 {
+            return 0.0;
+        }
+        let per_mc = |cycles: u64| {
+            if self.exec_cycles == 0 {
+                0.0
+            } else {
+                cycles as f64 / self.exec_cycles as f64
+            }
+        };
+        q.iter().map(|&c| per_mc(c)).sum::<f64>() / q.len() as f64
+    }
+
+    /// Latency quantile of a named histogram (e.g. `"req.offchip_cycles"`).
+    pub fn quantile(&self, hist: &str, q: f64) -> u64 {
+        self.hist(hist).quantile(q)
+    }
+
+    fn hist(&self, name: &str) -> &Histogram {
+        self.reg
+            .histogram(name)
+            .unwrap_or_else(|| panic!("unknown obs histogram {name:?}"))
+    }
+
+    // ---- exporters --------------------------------------------------------
+
+    /// Stable JSON metrics snapshot: meta, counters, gauges, histograms
+    /// (with exact-bucket p50/p95/p99), and windowed series, in registration
+    /// order. Byte-identical across identical runs.
+    pub fn metrics_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n\"meta\": {");
+        let _ = write!(
+            s,
+            "\"mesh_width\": {}, \"mesh_height\": {}, \"nodes\": {}, \"mcs\": {}, \
+             \"banks_per_mc\": {}, \"exec_cycles\": {}, \"epoch_cycles\": {}, \
+             \"record_spans\": {}, \"span_capacity\": {}, \"events\": {}, \
+             \"dropped_spans\": {}",
+            self.topo.mesh_width,
+            self.topo.mesh_height,
+            self.topo.nodes(),
+            self.topo.mcs,
+            self.topo.banks_per_mc,
+            self.exec_cycles,
+            self.config.epoch_cycles.max(1),
+            self.config.record_spans,
+            self.config.span_capacity,
+            self.events.len(),
+            self.dropped_spans,
+        );
+        s.push_str("},\n\"counters\": {");
+        for (i, f) in self.reg.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n\"{}\": {}", f.name, u64_array(&f.vals));
+        }
+        s.push_str("},\n\"gauges\": {");
+        for (i, f) in self.reg.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n\"{}\": {}", f.name, i64_array(&f.vals));
+        }
+        s.push_str("},\n\"histograms\": {");
+        for (i, (name, h)) in self.reg.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n\"{name}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+                h.count(),
+                h.min(),
+                h.max(),
+                fmt_f64(h.mean()),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            );
+            for (j, (lo, hi, c)) in h.nonzero_buckets().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{lo}, {hi}, {c}]");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("},\n\"series\": {");
+        for (i, ser) in self.reg.series.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let mode = match ser.mode {
+                WindowMode::Add => "add",
+                WindowMode::Max => "max",
+            };
+            let _ = write!(
+                s,
+                "\n\"{}\": {{\"epoch_cycles\": {}, \"mode\": \"{}\", \"values\": {}}}",
+                ser.name,
+                ser.epoch_cycles,
+                mode,
+                u64_array(&ser.vals),
+            );
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Per-link heatmap dump: one TSV row per directed link with its flit
+    /// cycles, wait cycles, and utilization over the run.
+    pub fn links_tsv(&self) -> String {
+        let flits = self.counter_family("net.link.flit_cycles");
+        let waits = self.counter_family("net.link.wait_cycles");
+        let e = self.exec_cycles.max(1) as f64;
+        let w = self.topo.mesh_width;
+        let mut s = String::from("node\tx\ty\tdir\tflit_cycles\twait_cycles\tutilization\n");
+        for link in 0..self.topo.links() {
+            let node = link / 4;
+            let dir = DIR_LETTERS[link % 4];
+            let _ = writeln!(
+                s,
+                "{node}\t{}\t{}\t{dir}\t{}\t{}\t{}",
+                node % w,
+                node / w,
+                flits[link],
+                waits[link],
+                fmt_f64(flits[link] as f64 / e),
+            );
+        }
+        s
+    }
+
+    /// Chrome trace-event JSON (see [`crate::chrome`]).
+    pub fn chrome_trace_json(&self) -> String {
+        crate::chrome::chrome_trace_json(self)
+    }
+}
+
+fn u64_array(vals: &[u64]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+    s
+}
+
+fn i64_array(vals: &[i64]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+    s
+}
+
+/// Deterministic shortest-roundtrip decimal for a finite `f64`; JSON has no
+/// NaN/inf, so those render as 0 (they cannot occur in practice: every
+/// derived ratio here divides by a guarded non-zero denominator).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    // `{}` prints integral floats without a decimal point; that is still a
+    // valid JSON number, so leave it.
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::sink::{Sink, HOP_HIST_LEN};
+
+    fn topo() -> Topology {
+        Topology {
+            mesh_width: 2,
+            mesh_height: 2,
+            mcs: 1,
+            banks_per_mc: 2,
+        }
+    }
+
+    fn small_report() -> ObsReport {
+        let s = Sink::recording(
+            topo(),
+            ObsConfig {
+                epoch_cycles: 64,
+                ..ObsConfig::default()
+            },
+        );
+        let tag = s.begin_req(0, 1);
+        s.offchip(tag, 0, 1, 0);
+        s.bind_token(9, tag);
+        s.hop(4, 2, 1, 4, tag);
+        s.bank_service(0, 1, 9, 5, 8, 40, true, 0);
+        s.retire(tag, 50);
+        s.into_report(100).unwrap()
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_stable() {
+        let rep = small_report();
+        let a = rep.metrics_json();
+        let b = rep.metrics_json();
+        assert_eq!(a, b);
+        let v = parse(&a).expect("snapshot must be valid JSON");
+        let counters = v.get("counters").expect("counters object");
+        assert_eq!(
+            counters
+                .get("sim.offchip")
+                .and_then(|c| c.index(0))
+                .and_then(|x| x.as_u64()),
+            Some(1)
+        );
+        let meta = v.get("meta").expect("meta object");
+        assert_eq!(meta.get("exec_cycles").and_then(|x| x.as_u64()), Some(100));
+    }
+
+    #[test]
+    fn links_tsv_has_one_row_per_directed_link() {
+        let rep = small_report();
+        let tsv = rep.links_tsv();
+        let rows: Vec<&str> = tsv.lines().collect();
+        assert_eq!(rows.len(), 1 + rep.topology().links());
+        assert!(
+            rows[1 + 4].starts_with("1\t1\t0\tE\t4\t1\t"),
+            "link 4 = node 1 east: {}",
+            rows[5]
+        );
+    }
+
+    #[test]
+    fn empty_report_derivations_are_zero() {
+        let s = Sink::recording(topo(), ObsConfig::default());
+        let rep = s.into_report(0).unwrap();
+        assert_eq!(rep.bank_queue_occupancy(), 0.0);
+        assert_eq!(rep.mc_request_shares(0), vec![0.0; 4]);
+        assert_eq!(rep.offchip(), 0);
+    }
+
+    #[test]
+    fn hop_histogram_matches_class() {
+        let rep = small_report();
+        assert_eq!(rep.hop_histogram("onchip").len(), HOP_HIST_LEN);
+        assert_eq!(rep.hop_histogram("offchip").len(), HOP_HIST_LEN);
+    }
+}

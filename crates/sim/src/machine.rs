@@ -22,6 +22,7 @@ use hoploc_cache::{Directory, SetAssocCache};
 use hoploc_layout::L2Mode;
 use hoploc_mem::{Completion, MemoryController};
 use hoploc_noc::{L2ToMcMapping, McId, Network, NodeId, TrafficClass};
+use hoploc_obs::{CacheTag, ObsConfig, ObsReport, Phase, ReqTag, Sink, Topology};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -69,6 +70,9 @@ struct PendingMem {
     /// A dirty-eviction writeback: fire-and-forget, no response, no
     /// thread to resume.
     writeback: bool,
+    /// Observability tag of the request this memory access serves
+    /// ([`ReqTag::NONE`] for writebacks and untraced runs).
+    req: ReqTag,
 }
 
 struct ThreadState {
@@ -107,6 +111,9 @@ pub struct Simulator {
     offchip: u64,
     writebacks: u64,
     node_mc_requests: Vec<Vec<u64>>,
+    /// Observability sink: disabled unless [`Simulator::with_obs`] was
+    /// called, in which case every component mirrors its events here.
+    obs: Sink,
 }
 
 impl Simulator {
@@ -151,9 +158,25 @@ impl Simulator {
             offchip: 0,
             writebacks: 0,
             node_mc_requests: vec![vec![0; n_mcs]; n],
+            obs: Sink::disabled(),
             config,
             mapping,
         }
+    }
+
+    /// Enables observability: the run records request-lifecycle spans and a
+    /// metric registry into a fresh recorder, harvested by
+    /// [`Simulator::run_traced`]. Recording never changes simulated timing —
+    /// [`RunStats`] stay bit-identical to an untraced run.
+    pub fn with_obs(mut self, options: ObsConfig) -> Self {
+        let topo = Topology {
+            mesh_width: self.config.mesh.width() as usize,
+            mesh_height: self.config.mesh.height() as usize,
+            mcs: self.config.num_mcs(),
+            banks_per_mc: self.config.mc.banks,
+        };
+        self.obs = Sink::recording(topo, options);
+        self
     }
 
     /// Runs a workload to completion and returns the collected statistics.
@@ -162,6 +185,30 @@ impl Simulator {
     ///
     /// Panics if a trace references a node outside the mesh.
     pub fn run(mut self, workload: &TraceWorkload) -> RunStats {
+        self.run_core(workload)
+    }
+
+    /// Like [`run`](Self::run), additionally harvesting the observability
+    /// recording enabled by [`with_obs`](Self::with_obs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator was constructed without
+    /// [`with_obs`](Self::with_obs), or if a trace references a node outside
+    /// the mesh.
+    pub fn run_traced(mut self, workload: &TraceWorkload) -> (RunStats, ObsReport) {
+        assert!(
+            self.obs.is_enabled(),
+            "run_traced requires Simulator::with_obs"
+        );
+        let stats = self.run_core(workload);
+        let report = std::mem::take(&mut self.obs)
+            .into_report(stats.exec_cycles)
+            .expect("invariant: the sink was checked enabled above");
+        (stats, report)
+    }
+
+    fn run_core(&mut self, workload: &TraceWorkload) -> RunStats {
         for t in &workload.threads {
             assert!(
                 (t.node.0 as usize) < self.config.num_nodes(),
@@ -196,7 +243,7 @@ impl Simulator {
             // still pending (e.g. a poll raced a flush), force scheduling.
             if self.heap.is_empty() && !self.pending.is_empty() {
                 for mc in 0..self.mcs.len() {
-                    let done = self.mcs[mc].flush();
+                    let done = self.mcs[mc].flush_obs(mc as u16, &self.obs);
                     self.schedule_completions(&done);
                 }
             }
@@ -223,7 +270,7 @@ impl Simulator {
             writebacks: self.writebacks,
             net: self.net.stats().clone(),
             mc: self.mcs.iter().map(|m| *m.stats()).collect(),
-            node_mc_requests: self.node_mc_requests,
+            node_mc_requests: std::mem::take(&mut self.node_mc_requests),
             app_finish,
             os_fallbacks: self.os.fallback_allocations,
             link_utilization,
@@ -267,22 +314,40 @@ impl Simulator {
         let paddr = self.os.translate(access.vaddr, node, &self.mapping);
         let t1 = now + self.config.l1_latency;
         let l1_line = paddr / self.config.l1.line_bytes;
+        self.obs.access(now, node.0);
         if self.l1[node.0 as usize]
-            .access_rw(l1_line, access.write)
+            .access_rw_obs(l1_line, access.write, t1, CacheTag::l1(node.0), &self.obs)
             .hit
         {
             self.l1_hits += 1;
             self.after_access(workload, thread, t1, false);
             return;
         }
+        // An L1 miss opens a request lifecycle; the span closes when the
+        // data returns (or is dropped again on an L2 hit).
+        let req = self.obs.begin_req(t1, node.0);
         let l2_line = paddr / self.config.l2.line_bytes;
         match self.config.l2_mode {
-            L2Mode::Private => {
-                self.private_l2_access(workload, thread, node, paddr, l2_line, t1, access.write)
-            }
-            L2Mode::Shared => {
-                self.shared_l2_access(workload, thread, node, paddr, l2_line, t1, access.write)
-            }
+            L2Mode::Private => self.private_l2_access(
+                workload,
+                thread,
+                node,
+                paddr,
+                l2_line,
+                t1,
+                access.write,
+                req,
+            ),
+            L2Mode::Shared => self.shared_l2_access(
+                workload,
+                thread,
+                node,
+                paddr,
+                l2_line,
+                t1,
+                access.write,
+                req,
+            ),
         }
     }
 
@@ -296,11 +361,19 @@ impl Simulator {
         l2_line: u64,
         t1: u64,
         write: bool,
+        req: ReqTag,
     ) {
         let t2 = t1 + self.config.l2_latency;
-        let res = self.l2[node.0 as usize].access_rw(l2_line, write);
+        let res = self.l2[node.0 as usize].access_rw_obs(
+            l2_line,
+            write,
+            t2,
+            CacheTag::l2(node.0),
+            &self.obs,
+        );
         if res.hit {
             self.l2_hits += 1;
+            self.obs.req_l2_hit(req, t2);
             self.after_access(workload, thread, t2, false);
             return;
         }
@@ -314,12 +387,15 @@ impl Simulator {
                 // Dirty line travels to memory: a data message plus a DRAM
                 // write, neither of which blocks the thread.
                 self.writebacks += 1;
-                let at = self.net.send(
+                self.obs.writeback(t2, node.0, ev_mc as u16);
+                let at = self.net.send_obs(
                     node,
                     dst,
                     self.config.l2.line_bytes as u32,
                     TrafficClass::OffChip,
                     t2,
+                    ReqTag::NONE,
+                    &self.obs,
                 );
                 self.enqueue_mem(
                     evicted * self.config.l2.line_bytes,
@@ -331,15 +407,18 @@ impl Simulator {
                         mc: ev_mc,
                         l2_line: evicted,
                         writeback: true,
+                        req: ReqTag::NONE,
                     },
                 );
             } else {
-                self.net.send(
+                self.net.send_obs(
                     node,
                     dst,
                     self.config.control_bytes,
                     TrafficClass::OnChip,
                     t2,
+                    ReqTag::NONE,
+                    &self.obs,
                 );
             }
         }
@@ -350,49 +429,60 @@ impl Simulator {
             self.mc_of_paddr(paddr)
         };
         let mc_node = self.mc_node(mc);
-        let sharers = self.dir.lookup(l2_line, node.0 as usize);
+        let sharers = self.dir.lookup_obs(l2_line, node.0 as usize, t2, &self.obs);
         if let Some(&owner) = sharers
             .iter()
             .min_by_key(|&&s| self.config.mesh.hop_distance(node, NodeId(s as u16)))
         {
             // On-chip fulfilment: requester → directory → owner → requester.
             self.cache_to_cache += 1;
+            self.obs.c2c(req, t2, node.0);
             let owner = NodeId(owner as u16);
-            let t3 = self.net.send(
+            let t3 = self.net.send_obs(
                 node,
                 mc_node,
                 self.config.control_bytes,
                 TrafficClass::OnChip,
                 t2,
+                req,
+                &self.obs,
             );
-            let t4 = self.net.send(
+            let t4 = self.net.send_obs(
                 mc_node,
                 owner,
                 self.config.control_bytes,
                 TrafficClass::OnChip,
                 t3,
+                req.phase(Phase::Forward),
+                &self.obs,
             );
             let t5 = t4 + self.config.l2_latency;
-            let t6 = self.net.send(
+            let t6 = self.net.send_obs(
                 owner,
                 node,
                 self.config.l2.line_bytes as u32,
                 TrafficClass::OnChip,
                 t5,
+                req.phase(Phase::Reply),
+                &self.obs,
             );
             self.dir.add_sharer(l2_line, node.0 as usize);
+            self.obs.retire(req, t6);
             self.schedule(t6, EventKind::MissReturn { thread });
             self.after_access(workload, thread, t2, true);
         } else {
             // Off-chip: requester → MC (request), DRAM, MC → requester (data).
             self.offchip += 1;
             self.node_mc_requests[node.0 as usize][mc] += 1;
-            let t3 = self.net.send(
+            self.obs.offchip(req, t2, node.0, mc as u16);
+            let t3 = self.net.send_obs(
                 node,
                 mc_node,
                 self.config.control_bytes,
                 TrafficClass::OffChip,
                 t2,
+                req,
+                &self.obs,
             );
             self.enqueue_mem(
                 paddr,
@@ -404,6 +494,7 @@ impl Simulator {
                     mc,
                     l2_line,
                     writeback: false,
+                    req,
                 },
             );
             self.after_access(workload, thread, t2, true);
@@ -420,28 +511,40 @@ impl Simulator {
         l2_line: u64,
         t1: u64,
         write: bool,
+        req: ReqTag,
     ) {
         let home = NodeId((l2_line % self.config.num_nodes() as u64) as u16);
-        let t2 = self.net.send(
+        let t2 = self.net.send_obs(
             node,
             home,
             self.config.control_bytes,
             TrafficClass::OnChip,
             t1,
+            req,
+            &self.obs,
         );
         let t3 = t2 + self.config.l2_latency;
-        let res = self.l2[home.0 as usize].access_rw(l2_line, write);
+        let res = self.l2[home.0 as usize].access_rw_obs(
+            l2_line,
+            write,
+            t3,
+            CacheTag::l2(home.0),
+            &self.obs,
+        );
         if self.config.writebacks && res.evicted_dirty {
             if let Some(evicted) = res.evicted {
                 self.writebacks += 1;
                 let ev_mc = self.mc_of_paddr(evicted * self.config.l2.line_bytes);
                 let dst = self.mc_node(ev_mc);
-                let at = self.net.send(
+                self.obs.writeback(t3, home.0, ev_mc as u16);
+                let at = self.net.send_obs(
                     home,
                     dst,
                     self.config.l2.line_bytes as u32,
                     TrafficClass::OffChip,
                     t3,
+                    ReqTag::NONE,
+                    &self.obs,
                 );
                 self.enqueue_mem(
                     evicted * self.config.l2.line_bytes,
@@ -453,19 +556,24 @@ impl Simulator {
                         mc: ev_mc,
                         l2_line: evicted,
                         writeback: true,
+                        req: ReqTag::NONE,
                     },
                 );
             }
         }
         if res.hit {
             self.l2_hits += 1;
-            let t4 = self.net.send(
+            self.obs.req_l2_hit(req, t3);
+            let t4 = self.net.send_obs(
                 home,
                 node,
                 self.config.l2.line_bytes as u32,
                 TrafficClass::OnChip,
                 t3,
+                req.phase(Phase::Reply),
+                &self.obs,
             );
+            self.obs.retire(req, t4);
             self.schedule(t4, EventKind::MissReturn { thread });
             self.after_access(workload, thread, t1, true);
             return;
@@ -478,12 +586,15 @@ impl Simulator {
         let mc_node = self.mc_node(mc);
         self.offchip += 1;
         self.node_mc_requests[home.0 as usize][mc] += 1;
-        let t4 = self.net.send(
+        self.obs.offchip(req, t3, home.0, mc as u16);
+        let t4 = self.net.send_obs(
             home,
             mc_node,
             self.config.control_bytes,
             TrafficClass::OffChip,
             t3,
+            req,
+            &self.obs,
         );
         self.enqueue_mem(
             paddr,
@@ -495,6 +606,7 @@ impl Simulator {
                 mc,
                 l2_line,
                 writeback: false,
+                req,
             },
         );
         self.after_access(workload, thread, t1, true);
@@ -504,9 +616,12 @@ impl Simulator {
         let token = self.next_token;
         self.next_token += 1;
         let mc = ctx.mc;
+        if ctx.req.is_some() {
+            self.obs.bind_token(token, ctx.req);
+        }
         self.pending.insert(token, ctx);
         let local = self.mc_local_addr(paddr);
-        let done = self.mcs[mc].enqueue(local, token, arrival);
+        let done = self.mcs[mc].enqueue_obs(local, token, arrival, mc as u16, &self.obs);
         self.schedule_completions(&done);
         self.update_poll(mc);
     }
@@ -531,7 +646,7 @@ impl Simulator {
         if self.mc_next_poll[mc] == Some(now) {
             self.mc_next_poll[mc] = None;
         }
-        let done = self.mcs[mc].poll(now);
+        let done = self.mcs[mc].poll_obs(now, mc as u16, &self.obs);
         self.schedule_completions(&done);
         self.update_poll(mc);
     }
@@ -547,28 +662,34 @@ impl Simulator {
             return;
         }
         let mc_node = self.mc_node(ctx.mc);
-        let t1 = self.net.send(
+        let t1 = self.net.send_obs(
             mc_node,
             ctx.responder,
             self.config.l2.line_bytes as u32,
             TrafficClass::OffChip,
             now,
+            ctx.req.phase(Phase::Reply),
+            &self.obs,
         );
         match ctx.final_dst {
             // Shared L2: the home bank forwards the line to the requester.
             Some(dst) => {
-                let t2 = self.net.send(
+                let t2 = self.net.send_obs(
                     ctx.responder,
                     dst,
                     self.config.l2.line_bytes as u32,
                     TrafficClass::OnChip,
                     t1,
+                    ctx.req.phase(Phase::Reply),
+                    &self.obs,
                 );
+                self.obs.retire(ctx.req, t2);
                 self.miss_return(workload, ctx.thread, t2);
             }
             // Private L2: the requester's L2 now holds the line.
             None => {
                 self.dir.add_sharer(ctx.l2_line, ctx.responder.0 as usize);
+                self.obs.retire(ctx.req, t1);
                 self.miss_return(workload, ctx.thread, t1);
             }
         }
@@ -794,5 +915,120 @@ mod tests {
         let s2 = Simulator::new(cfg, m, PagePolicy::Interleaved).run(&w);
         assert_eq!(s1.exec_cycles, s2.exec_cycles);
         assert_eq!(s1.offchip_accesses, s2.offchip_accesses);
+    }
+
+    /// Asserts the observability mirror matches `RunStats` exactly: same
+    /// timing, same counters, full hop histograms, per-MC aggregates.
+    fn assert_obs_parity(stats: &RunStats, rep: &hoploc_obs::ObsReport) {
+        assert_eq!(rep.counter("sim.accesses"), stats.total_accesses);
+        assert_eq!(rep.offchip(), stats.offchip_accesses);
+        assert_eq!(rep.counter("sim.cache_to_cache"), stats.cache_to_cache);
+        assert_eq!(rep.counter("sim.writebacks"), stats.writebacks);
+        assert_eq!(
+            rep.counter_family("cache.l1.hits").iter().sum::<u64>(),
+            stats.l1_hits
+        );
+        for class in [TrafficClass::OnChip, TrafficClass::OffChip] {
+            let (name, cs) = match class {
+                TrafficClass::OnChip => ("onchip", &stats.net.on_chip),
+                TrafficClass::OffChip => ("offchip", &stats.net.off_chip),
+            };
+            assert_eq!(rep.counter(&format!("net.{name}.msgs")), cs.messages);
+            assert_eq!(
+                rep.counter(&format!("net.{name}.latency_cycles")),
+                cs.total_latency
+            );
+            assert_eq!(rep.counter(&format!("net.{name}.hops")), cs.total_hops);
+            let hist = rep.hop_histogram(name);
+            for (h, &n) in cs.hop_histogram.iter().enumerate() {
+                assert_eq!(hist[h.min(hist.len() - 1)], n, "hop bucket {h}");
+            }
+        }
+        let served: Vec<u64> = stats.mc.iter().map(|m| m.served).collect();
+        assert_eq!(rep.counter_family("mc.served"), &served[..]);
+        let row_hits: Vec<u64> = stats.mc.iter().map(|m| m.row_hits).collect();
+        assert_eq!(rep.counter_family("mc.row_hits"), &row_hits[..]);
+        let queue: Vec<u64> = stats.mc.iter().map(|m| m.total_queue_cycles).collect();
+        assert_eq!(rep.counter_family("mc.queue_cycles"), &queue[..]);
+        for mc in 0..stats.mc.len() {
+            assert_eq!(rep.mc_request_shares(mc), stats.mc_request_shares(mc));
+        }
+        let occ = rep.bank_queue_occupancy();
+        let want = stats.bank_queue_occupancy();
+        assert!((occ - want).abs() < 1e-12, "occupancy {occ} != {want}");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_private() {
+        let cfg = small_config();
+        let m = mapping(&cfg);
+        let w = TraceWorkload::single("t", vec![seq_trace(0, 1024, 256), seq_trace(9, 512, 256)]);
+        let base = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved).run(&w);
+        let (stats, rep) = Simulator::new(cfg, m, PagePolicy::Interleaved)
+            .with_obs(hoploc_obs::ObsConfig::default())
+            .run_traced(&w);
+        assert_eq!(stats.exec_cycles, base.exec_cycles);
+        assert_eq!(stats.offchip_accesses, base.offchip_accesses);
+        assert_eq!(
+            stats.net.off_chip.total_latency,
+            base.net.off_chip.total_latency
+        );
+        assert_obs_parity(&stats, &rep);
+        // Every off-chip request leaves a closed span trail.
+        assert!(rep
+            .events()
+            .iter()
+            .any(|e| e.name == hoploc_obs::EvName::Offchip));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_shared() {
+        let mut cfg = small_config();
+        cfg.l2_mode = L2Mode::Shared;
+        let m = mapping(&cfg);
+        let w = TraceWorkload::single("t", vec![seq_trace(3, 1024, 256)]);
+        let base = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved).run(&w);
+        let (stats, rep) = Simulator::new(cfg, m, PagePolicy::Interleaved)
+            .with_obs(hoploc_obs::ObsConfig::default())
+            .run_traced(&w);
+        assert_eq!(stats.exec_cycles, base.exec_cycles);
+        assert_obs_parity(&stats, &rep);
+    }
+
+    #[test]
+    fn counter_only_tracing_matches_spans_on() {
+        let cfg = small_config();
+        let m = mapping(&cfg);
+        let w = TraceWorkload::single("t", vec![seq_trace(0, 768, 256)]);
+        let (s1, full) = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved)
+            .with_obs(hoploc_obs::ObsConfig::default())
+            .run_traced(&w);
+        let (s2, lean) = Simulator::new(cfg, m, PagePolicy::Interleaved)
+            .with_obs(hoploc_obs::ObsConfig {
+                record_spans: false,
+                ..hoploc_obs::ObsConfig::default()
+            })
+            .run_traced(&w);
+        assert_eq!(s1.exec_cycles, s2.exec_cycles);
+        assert_eq!(full.offchip(), lean.offchip());
+        assert!(lean.events().is_empty());
+        // Counters are independent of span recording.
+        for name in [
+            "sim.accesses",
+            "sim.offchip",
+            "net.onchip.msgs",
+            "net.offchip.msgs",
+            "net.link.flit_cycles",
+            "net.link.wait_cycles",
+            "mc.served",
+            "mc.row_hits",
+            "mc.bank.queue_cycles",
+        ] {
+            assert_eq!(
+                full.counter_family(name),
+                lean.counter_family(name),
+                "{name}"
+            );
+        }
     }
 }

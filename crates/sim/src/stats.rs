@@ -100,12 +100,14 @@ impl RunStats {
 
     /// Relative improvement of `self` over a baseline for a
     /// smaller-is-better metric, as a fraction (0.2 = 20% reduction).
+    ///
+    /// Total: a zero, NaN, or infinite input yields 0.0 rather than
+    /// propagating a non-finite ratio into figure tables.
     pub fn reduction(metric_opt: f64, metric_base: f64) -> f64 {
-        if metric_base == 0.0 {
-            0.0
-        } else {
-            (metric_base - metric_opt) / metric_base
+        if metric_base == 0.0 || !metric_base.is_finite() || !metric_opt.is_finite() {
+            return 0.0;
         }
+        (metric_base - metric_opt) / metric_base
     }
 
     /// The most-utilized directed link, as `(node index, direction 0-3
@@ -202,12 +204,61 @@ mod tests {
         assert_eq!(s.memory_latency(), 0.0);
         assert_eq!(s.bank_queue_occupancy(), 0.0);
         assert_eq!(s.l1_hit_rate(), 0.0);
+        assert_eq!(s.mc_request_shares(0), vec![0.0; 4]);
+        assert_eq!(s.hottest_link(), (0, 0, 0.0));
+    }
+
+    #[test]
+    fn ratio_methods_stay_in_range_on_degenerate_counts() {
+        // Accesses recorded but no hits / no off-chip traffic: the ratios
+        // must be exact 0.0, and with hits == accesses exactly 1.0.
+        let mut s = empty();
+        s.total_accesses = 10;
+        assert_eq!(s.offchip_fraction(), 0.0);
+        assert_eq!(s.l1_hit_rate(), 0.0);
+        s.l1_hits = 10;
+        s.offchip_accesses = 10;
+        assert_eq!(s.offchip_fraction(), 1.0);
+        assert_eq!(s.l1_hit_rate(), 1.0);
+        // Controllers present but a zero-cycle run must not divide by the
+        // elapsed time.
+        s.mc = vec![McStats::default(); 2];
+        s.exec_cycles = 0;
+        assert_eq!(s.bank_queue_occupancy(), 0.0);
     }
 
     #[test]
     fn reduction_is_relative() {
         assert!((RunStats::reduction(80.0, 100.0) - 0.2).abs() < 1e-12);
         assert_eq!(RunStats::reduction(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn reduction_is_total_over_non_finite_inputs() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(RunStats::reduction(1.0, bad), 0.0, "base {bad}");
+            assert_eq!(RunStats::reduction(bad, 1.0), 0.0, "opt {bad}");
+            assert_eq!(RunStats::reduction(bad, bad), 0.0);
+        }
+        // -0.0 is still a zero denominator.
+        assert_eq!(RunStats::reduction(1.0, -0.0), 0.0);
+    }
+
+    #[test]
+    fn improvement_between_empty_runs_is_all_finite_zeros() {
+        let a = empty();
+        let b = empty();
+        let imp = Improvement::between(&a, &b);
+        for (name, v) in [
+            ("onchip_net", imp.onchip_net),
+            ("offchip_net", imp.offchip_net),
+            ("memory", imp.memory),
+            ("exec_time", imp.exec_time),
+        ] {
+            assert!(v.is_finite(), "{name} not finite");
+            assert_eq!(v, 0.0, "{name}");
+        }
+        assert_eq!(imp, Improvement::default());
     }
 
     #[test]

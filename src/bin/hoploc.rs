@@ -6,6 +6,11 @@
 //! hoploc check <app|all>           statically verify layouts, races, bounds
 //! hoploc run <app> [options]       simulate baseline vs optimized
 //! hoploc sweep [options]           run the whole suite, one row per app
+//! hoploc trace <app> [options]     simulate with full request-lifecycle
+//!                                  tracing; write Chrome-trace JSON
+//!                                  (Perfetto-loadable), a metrics snapshot,
+//!                                  and a per-link heatmap per configuration
+//! hoploc trace-validate <file...>  schema-check Chrome-trace JSON files
 //!
 //! `check` proves every layout recipe injective and in-bounds, re-derives
 //! the dependence verdicts behind each nest's parallel dimension, and
@@ -27,17 +32,27 @@
 //!   --json <path|->                also write a machine-readable JSON
 //!                                  summary of every run (- for stdout)
 //!   --deny warnings                (check) treat warnings as fatal
+//!   --config <kind|all>            (trace) which run kind(s) to trace:
+//!                                  baseline, optimized, first-touch,
+//!                                  optimal, or all (default optimized)
+//!   --out <dir>                    (trace) output directory (default traces)
+//!   --epoch <cycles>               (trace) windowed-series epoch width
+//!   --span-cap <n>                 (trace) record spans for the first n
+//!                                  requests only (0 = unlimited)
 //! ```
 
 use hoploc::affine::parallelization_is_legal;
 use hoploc::check::{
     check_layout, check_program, count, render_json, render_text, should_fail, CheckConfig,
 };
-use hoploc::harness::{default_jobs, parallel_map, render_table, to_json, RunSpec, Suite};
+use hoploc::harness::{
+    default_jobs, kind_name, parallel_map, render_table, to_json, RunSpec, Suite,
+};
 use hoploc::layout::{
     codegen, determine_data_to_core, optimize_program, Granularity, L2Mode, PassConfig,
 };
 use hoploc::noc::{L2ToMcMapping, McPlacement};
+use hoploc::obs::{validate_chrome_trace, ObsConfig};
 use hoploc::sim::{Improvement, SimConfig};
 use hoploc::workloads::{all_apps, layout_for, App, RunKind, Scale};
 use std::process::ExitCode;
@@ -53,6 +68,10 @@ struct Options {
     jobs: usize,
     json: Option<String>,
     deny_warnings: bool,
+    config: String,
+    out: String,
+    epoch: u64,
+    span_cap: u64,
 }
 
 impl Options {
@@ -68,6 +87,10 @@ impl Options {
             jobs: default_jobs(),
             json: None,
             deny_warnings: false,
+            config: "optimized".to_string(),
+            out: "traces".to_string(),
+            epoch: ObsConfig::default().epoch_cycles,
+            span_cap: 0,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -92,6 +115,22 @@ impl Options {
                 "--json" => {
                     let v = it.next().ok_or("--json needs a path (or -)")?;
                     o.json = Some(v.clone());
+                }
+                "--config" => {
+                    let v = it.next().ok_or("--config needs a run kind (or all)")?;
+                    o.config = v.clone();
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a directory")?;
+                    o.out = v.clone();
+                }
+                "--epoch" => {
+                    let v = it.next().ok_or("--epoch needs a cycle count")?;
+                    o.epoch = v.parse().map_err(|_| format!("bad epoch width {v}"))?;
+                }
+                "--span-cap" => {
+                    let v = it.next().ok_or("--span-cap needs a request count")?;
+                    o.span_cap = v.parse().map_err(|_| format!("bad span cap {v}"))?;
                 }
                 "--deny" => match it.next().map(String::as_str) {
                     Some("warnings") => o.deny_warnings = true,
@@ -409,6 +448,122 @@ fn cmd_links(app: App, o: &Options) {
     );
 }
 
+/// Resolves `--config` into the run kinds to trace.
+fn trace_kinds(config: &str) -> Result<Vec<RunKind>, String> {
+    let all = [
+        RunKind::Baseline,
+        RunKind::Optimized,
+        RunKind::FirstTouch,
+        RunKind::Optimal,
+    ];
+    if config == "all" {
+        return Ok(all.to_vec());
+    }
+    all.iter()
+        .find(|&&k| kind_name(k) == config)
+        .map(|&k| vec![k])
+        .ok_or_else(|| {
+            format!("unknown trace config {config}; use baseline, optimized, first-touch, optimal, or all")
+        })
+}
+
+fn cmd_trace(app: App, o: &Options) -> ExitCode {
+    let name = app.name().to_string();
+    let kinds = match trace_kinds(&o.config) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&o.out) {
+        eprintln!("error: creating {}: {e}", o.out);
+        return ExitCode::FAILURE;
+    }
+    let suite = o.suite(vec![app]);
+    let specs: Vec<RunSpec> = kinds.iter().map(|&kind| RunSpec { app: 0, kind }).collect();
+    let obs = ObsConfig {
+        record_spans: true,
+        epoch_cycles: o.epoch,
+        span_capacity: o.span_cap,
+    };
+    // One traced run per configuration, fanned across the worker pool.
+    let records = suite.run_matrix_traced(&specs, o.jobs, obs);
+    println!("== {name} : request-lifecycle traces ==");
+    println!(
+        "{:<12} {:>12} {:>10} {:>9} {:>12}",
+        "config", "exec cycles", "off-chip", "spans", "p95 latency"
+    );
+    for r in &records {
+        let kind = kind_name(r.kind);
+        let stem = format!("{}/{}-{}", o.out, name, kind);
+        let outputs = [
+            (format!("{stem}.trace.json"), r.report.chrome_trace_json()),
+            (format!("{stem}.metrics.json"), r.report.metrics_json()),
+            (format!("{stem}.links.tsv"), r.report.links_tsv()),
+        ];
+        for (path, contents) in &outputs {
+            if let Err(e) = std::fs::write(path, contents) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "{:<12} {:>12} {:>10} {:>9} {:>9} cy",
+            kind,
+            r.stats.exec_cycles,
+            r.stats.offchip_accesses,
+            r.report.events().len(),
+            r.report.quantile("req.offchip_cycles", 0.95),
+        );
+        if r.report.dropped_spans() > 0 {
+            println!(
+                "  ({} requests past --span-cap kept counters but no spans)",
+                r.report.dropped_spans()
+            );
+        }
+    }
+    println!(
+        "\nwrote {} file(s) under {}/ — open a .trace.json in https://ui.perfetto.dev",
+        3 * records.len(),
+        o.out
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace_validate(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("usage: hoploc trace-validate <trace.json...>");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in files {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        match validate_chrome_trace(&contents) {
+            Ok(s) => println!(
+                "{path}: OK — {} span event(s), {} metadata event(s), {} track(s)",
+                s.span_events, s.meta_events, s.tracks
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_sweep(o: &Options) {
     let suite = o.suite(all_apps(o.scale));
     let kinds = [o.baseline_kind(), o.optimized_kind()];
@@ -450,8 +605,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: hoploc <apps|compile <app>|check <app|all>|run <app>|links <app>|sweep> \
-             [options]"
+            "usage: hoploc <apps|compile <app>|check <app|all>|run <app>|links <app>|sweep\
+             |trace <app>|trace-validate <file...>> [options]"
         );
         eprintln!("see the module docs (or README.md) for the option list");
         ExitCode::FAILURE
@@ -459,8 +614,11 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first().cloned() else {
         return usage();
     };
+    if cmd == "trace-validate" {
+        return cmd_trace_validate(&args[1..]);
+    }
     let rest_start = match cmd.as_str() {
-        "compile" | "run" | "links" | "check" => 2,
+        "compile" | "run" | "links" | "check" | "trace" => 2,
         _ => 1,
     };
     let opts = match Options::parse(&args[rest_start.min(args.len())..]) {
@@ -472,7 +630,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "apps" => cmd_apps(opts.scale),
-        "compile" | "run" | "links" => {
+        "compile" | "run" | "links" | "trace" => {
             let Some(name) = args.get(1) else {
                 return usage();
             };
@@ -483,6 +641,7 @@ fn main() -> ExitCode {
             match cmd.as_str() {
                 "compile" => cmd_compile(&app, &opts),
                 "links" => cmd_links(app, &opts),
+                "trace" => return cmd_trace(app, &opts),
                 _ => cmd_run(app, &opts),
             }
         }

@@ -18,6 +18,10 @@
 //!   translation, statistics);
 //! * [`workloads`] — the paper's 13 SPEC-OMP/Mantevo applications modelled
 //!   as parameterized affine programs;
+//! * [`obs`] — deterministic, sim-cycle-timestamped observability:
+//!   request-lifecycle spans, a metric registry (counters, gauges,
+//!   histograms, windowed series), and Chrome-trace / JSON / TSV
+//!   exporters (`hoploc trace`);
 //! * [`harness`] — the parallel, memoizing suite harness that fans the
 //!   (app × run-kind) matrix across threads with bit-identical results;
 //! * [`check`] — the static verifier and lint pass (`hoploc check`):
@@ -37,5 +41,6 @@ pub use hoploc_harness as harness;
 pub use hoploc_layout as layout;
 pub use hoploc_mem as mem;
 pub use hoploc_noc as noc;
+pub use hoploc_obs as obs;
 pub use hoploc_sim as sim;
 pub use hoploc_workloads as workloads;

@@ -10,6 +10,7 @@
 use hoploc::harness::{default_jobs, RunRecord, RunSpec, Suite};
 use hoploc::layout::Granularity;
 use hoploc::noc::L2ToMcMapping;
+use hoploc::obs::{validate_chrome_trace, EvName, ObsConfig};
 use hoploc::sim::SimConfig;
 use hoploc::workloads::{all_apps, run_app, RunKind, Scale};
 use std::sync::OnceLock;
@@ -199,6 +200,94 @@ fn parallel_sweep_is_at_least_twice_as_fast() {
         par_time.as_secs_f64() * 2.0 <= seq_time.as_secs_f64(),
         "parallel sweep {par_time:?} not 2x faster than sequential {seq_time:?}"
     );
+}
+
+#[test]
+fn traced_sweep_is_deterministic_and_mirrors_stats() {
+    // The observability layer must not perturb the simulation, and its
+    // exported artifacts must be byte-identical at any worker count.
+    let (sim, mapping) = setup();
+    let apps = vec![
+        hoploc::workloads::swim(Scale::Test),
+        hoploc::workloads::mgrid(Scale::Test),
+    ];
+    let kinds = [RunKind::Baseline, RunKind::Optimized];
+    let par_suite = Suite::new(apps.clone(), mapping.clone(), sim.clone());
+    let specs = par_suite.full_matrix(&kinds);
+    let par = par_suite.run_matrix_traced(&specs, default_jobs().max(2), ObsConfig::default());
+    let seq_suite = Suite::new(apps, mapping, sim);
+    let seq = seq_suite.run_matrix_traced(&specs, 1, ObsConfig::default());
+    for ((p, q), spec) in par.iter().zip(&seq).zip(&specs) {
+        assert_eq!(p.stats, q.stats, "traced stats diverged on {spec:?}");
+        assert_eq!(
+            p.report.chrome_trace_json(),
+            q.report.chrome_trace_json(),
+            "event stream not byte-identical across job counts on {spec:?}"
+        );
+        assert_eq!(
+            p.report.metrics_json(),
+            q.report.metrics_json(),
+            "metrics snapshot not byte-identical across job counts on {spec:?}"
+        );
+        // The counters the figures read mirror RunStats exactly — this is
+        // the acceptance evidence for the fig13/fig15/fig18 ports.
+        assert_eq!(p.report.offchip(), p.stats.offchip_accesses);
+        for mc in 0..p.stats.mc.len() {
+            assert_eq!(
+                p.report.mc_request_shares(mc),
+                p.stats.mc_request_shares(mc)
+            );
+        }
+        assert_eq!(
+            p.report.hop_histogram("offchip"),
+            &p.stats.net.off_chip.hop_histogram[..],
+        );
+        assert_eq!(
+            p.report.hop_histogram("onchip"),
+            &p.stats.net.on_chip.hop_histogram[..],
+        );
+        let occ = p.report.bank_queue_occupancy();
+        let want = p.stats.bank_queue_occupancy();
+        assert!((occ - want).abs() < 1e-12, "{spec:?}: {occ} != {want}");
+    }
+}
+
+#[test]
+fn every_offchip_request_gets_a_full_span_trail() {
+    let (sim, mapping) = setup();
+    let suite = Suite::new(vec![hoploc::workloads::swim(Scale::Test)], mapping, sim);
+    let (stats, report) = suite.run_one_traced(
+        RunSpec {
+            app: 0,
+            kind: RunKind::Baseline,
+        },
+        ObsConfig::default(),
+    );
+    let events = report.events();
+    // One closing `offchip` span per off-chip demand access...
+    let closed = events.iter().filter(|e| e.name == EvName::Offchip).count();
+    assert_eq!(closed as u64, stats.offchip_accesses);
+    // ...and each of those requests also left NoC hops, an MC bank
+    // service, and a reply on its trail.
+    for name in [EvName::HopRequest, EvName::HopReply] {
+        assert!(
+            events.iter().filter(|e| e.name == name).count() as u64 >= stats.offchip_accesses,
+            "{name:?} spans missing"
+        );
+    }
+    let services = events
+        .iter()
+        .filter(|e| e.name == EvName::BankRowHit || e.name == EvName::BankRowMiss)
+        .count() as u64;
+    assert!(
+        services >= stats.offchip_accesses,
+        "bank services {services} < off-chip accesses {}",
+        stats.offchip_accesses
+    );
+    // The exported trace round-trips through the schema validator.
+    let summary =
+        validate_chrome_trace(&report.chrome_trace_json()).expect("schema-valid Chrome trace");
+    assert_eq!(summary.span_events, events.len());
 }
 
 #[test]
