@@ -1,0 +1,41 @@
+//! # hoploc-fault
+//!
+//! Seeded, deterministic fault plans for the hoploc NoC/MC/DRAM stack.
+//!
+//! A [`FaultPlan`] bundles three failure modes, all expressed as cycle
+//! windows so plans are machine-independent and replayable:
+//!
+//! * **link faults** ([`LinkFault`]) — extra traversal latency on directed
+//!   mesh links, injected into `hoploc_noc::Network`;
+//! * **bank faults** ([`BankFault`] pinned to a controller via
+//!   [`McBankFault`]) — DRAM bank stall windows and deterministic transient
+//!   errors, retried under a bounded exponential-backoff [`RetryPolicy`]
+//!   inside `hoploc_mem::MemoryController`'s FR-FCFS path;
+//! * **MC outages** ([`McOutage`]) — whole-controller dark windows; the
+//!   simulator degrades gracefully by re-homing affected requests to the
+//!   nearest live controller.
+//!
+//! Plans are either generated from a seed ([`FaultPlan::from_seed`], using
+//! the in-tree `hoploc-ptest` xorshift PRNG — same seed, same plan, same
+//! bytes) or written in a small line-oriented text format
+//! ([`FaultPlan::parse`] / [`FaultPlan::render`], which round-trip).
+//!
+//! An **empty plan is inert by construction**: every injection site keeps
+//! its fault state as `None`/empty and the timing paths are byte-identical
+//! to a build without any plan installed — asserted by the differential
+//! tests in `tests/fault_suite.rs`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod gen;
+mod plan;
+mod text;
+
+pub use gen::FaultRates;
+pub use plan::{FaultPlan, FaultTopo, McBankFault, McOutage};
+
+// Re-export the component-level fault vocabulary so plan consumers need
+// only this crate.
+pub use hoploc_mem::{BankFault, McFaults, RetryPolicy};
+pub use hoploc_noc::LinkFault;

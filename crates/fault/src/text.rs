@@ -1,0 +1,245 @@
+//! The line-oriented plan text format.
+//!
+//! ```text
+//! # hoploc fault plan
+//! seed 42
+//! retry base=16 max=4096 cap=4
+//! link 12 from=1000 until=5000 extra=8
+//! bank mc=0 bank=3 from=0 until=10000 stall=50 error=64
+//! mc 2 from=5000 until=20000
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. [`FaultPlan::render`] emits
+//! exactly this shape and [`FaultPlan::parse`] reads it back; the pair
+//! round-trips every plan bit-for-bit.
+
+use crate::plan::{FaultPlan, McBankFault, McOutage};
+use hoploc_mem::{BankFault, RetryPolicy};
+use hoploc_noc::LinkFault;
+use std::fmt::Write;
+
+/// Parses `key=value` fields from the tail of a plan line, checking that
+/// exactly the expected keys appear, in any order.
+fn fields(parts: &[&str], keys: &[&str], line_no: usize) -> Result<Vec<u64>, String> {
+    let mut out = vec![None; keys.len()];
+    for part in parts {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("line {line_no}: expected key=value, got `{part}`"))?;
+        let slot = keys
+            .iter()
+            .position(|&want| want == k)
+            .ok_or_else(|| format!("line {line_no}: unknown field `{k}`"))?;
+        if out[slot].is_some() {
+            return Err(format!("line {line_no}: duplicate field `{k}`"));
+        }
+        out[slot] = Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("line {line_no}: `{k}` is not a number: `{v}`"))?,
+        );
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i, v)| v.ok_or_else(|| format!("line {line_no}: missing field `{}`", keys[i])))
+        .collect()
+}
+
+impl FaultPlan {
+    /// Parses the text plan format. Returns a message naming the offending
+    /// line on malformed input. Shape validation (index ranges) is separate:
+    /// call [`FaultPlan::validate`] with the target topology.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts[0] {
+                "seed" => {
+                    let [v] = parts[1..] else {
+                        return Err(format!("line {line_no}: expected `seed <n>`"));
+                    };
+                    plan.seed = v
+                        .parse()
+                        .map_err(|_| format!("line {line_no}: bad seed `{v}`"))?;
+                }
+                "retry" => {
+                    let f = fields(&parts[1..], &["base", "max", "cap"], line_no)?;
+                    plan.retry = RetryPolicy {
+                        base_backoff: f[0],
+                        max_backoff: f[1],
+                        max_retries: u32::try_from(f[2])
+                            .map_err(|_| format!("line {line_no}: cap too large"))?,
+                    };
+                }
+                "link" => {
+                    let link = parts
+                        .get(1)
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .ok_or_else(|| format!("line {line_no}: expected `link <id> ...`"))?;
+                    let f = fields(&parts[2..], &["from", "until", "extra"], line_no)?;
+                    plan.links.push(LinkFault {
+                        link,
+                        from: f[0],
+                        until: f[1],
+                        extra_cycles: f[2],
+                    });
+                }
+                "bank" => {
+                    let f = fields(
+                        &parts[1..],
+                        &["mc", "bank", "from", "until", "stall", "error"],
+                        line_no,
+                    )?;
+                    plan.banks.push(McBankFault {
+                        mc: u16::try_from(f[0])
+                            .map_err(|_| format!("line {line_no}: mc too large"))?,
+                        fault: BankFault {
+                            bank: u16::try_from(f[1])
+                                .map_err(|_| format!("line {line_no}: bank too large"))?,
+                            from: f[2],
+                            until: f[3],
+                            stall_cycles: f[4],
+                            error_period: f[5],
+                        },
+                    });
+                }
+                "mc" => {
+                    let mc = parts
+                        .get(1)
+                        .and_then(|v| v.parse::<u16>().ok())
+                        .ok_or_else(|| format!("line {line_no}: expected `mc <id> ...`"))?;
+                    let f = fields(&parts[2..], &["from", "until"], line_no)?;
+                    plan.outages.push(McOutage {
+                        mc,
+                        from: f[0],
+                        until: f[1],
+                    });
+                }
+                other => {
+                    return Err(format!("line {line_no}: unknown directive `{other}`"));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan in the text format [`FaultPlan::parse`] reads.
+    pub fn render(&self) -> String {
+        let mut s = String::from("# hoploc fault plan\n");
+        let _ = writeln!(s, "seed {}", self.seed);
+        let _ = writeln!(
+            s,
+            "retry base={} max={} cap={}",
+            self.retry.base_backoff, self.retry.max_backoff, self.retry.max_retries
+        );
+        for l in &self.links {
+            let _ = writeln!(
+                s,
+                "link {} from={} until={} extra={}",
+                l.link, l.from, l.until, l.extra_cycles
+            );
+        }
+        for b in &self.banks {
+            let _ = writeln!(
+                s,
+                "bank mc={} bank={} from={} until={} stall={} error={}",
+                b.mc,
+                b.fault.bank,
+                b.fault.from,
+                b.fault.until,
+                b.fault.stall_cycles,
+                b.fault.error_period
+            );
+        }
+        for o in &self.outages {
+            let _ = writeln!(s, "mc {} from={} until={}", o.mc, o.from, o.until);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_example() {
+        let text = "\
+# hoploc fault plan
+seed 42
+retry base=16 max=4096 cap=4
+
+link 12 from=1000 until=5000 extra=8
+bank mc=0 bank=3 from=0 until=10000 stall=50 error=64
+mc 2 from=5000 until=20000
+";
+        let p = FaultPlan::parse(text).unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.links.len(), 1);
+        assert_eq!(p.links[0].extra_cycles, 8);
+        assert_eq!(p.banks.len(), 1);
+        assert_eq!(p.banks[0].fault.error_period, 64);
+        assert_eq!(
+            p.outages,
+            vec![McOutage {
+                mc: 2,
+                from: 5000,
+                until: 20000
+            }]
+        );
+        assert_eq!(p.retry.max_retries, 4);
+    }
+
+    #[test]
+    fn fields_accept_any_order() {
+        let p = FaultPlan::parse("mc 1 until=9 from=3\n").unwrap();
+        assert_eq!(p.outages[0].from, 3);
+        assert_eq!(p.outages[0].until, 9);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        for (text, needle) in [
+            ("seed x\n", "line 1"),
+            ("link 0 from=1\n", "missing field `until`"),
+            (
+                "bank mc=0 bank=0 from=0 until=1 stall=0 error=0 error=1\n",
+                "duplicate",
+            ),
+            ("warp 9\n", "unknown directive"),
+            ("link 0 from=1 until=2 extra=3 wat=4\n", "unknown field"),
+        ] {
+            let err = FaultPlan::parse(text).unwrap_err();
+            assert!(err.contains(needle), "`{text}` -> `{err}`");
+        }
+    }
+
+    #[test]
+    fn empty_text_is_the_empty_plan() {
+        let p = FaultPlan::parse("# nothing\n\n").unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p, FaultPlan::none());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        use crate::{FaultRates, FaultTopo};
+        let topo = FaultTopo {
+            links: 256,
+            mcs: 4,
+            banks_per_mc: 8,
+        };
+        for seed in 0..10 {
+            let p = FaultPlan::from_seed(seed, &topo, &FaultRates::severe());
+            assert_eq!(FaultPlan::parse(&p.render()).unwrap(), p, "seed {seed}");
+        }
+        assert_eq!(
+            FaultPlan::parse(&FaultPlan::none().render()).unwrap(),
+            FaultPlan::none()
+        );
+    }
+}

@@ -34,6 +34,7 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use hoploc_fault::{FaultPlan, FaultTopo};
 use hoploc_noc::{L2ToMcMapping, McId};
 use hoploc_obs::{ObsConfig, ObsReport};
 use hoploc_sim::{AddressSpace, PagePolicy, RunStats, SimConfig, Simulator, TraceWorkload};
@@ -248,6 +249,16 @@ impl Suite {
     /// Builds the simulator and workload for one matrix cell — the shared
     /// setup under both the plain and traced run paths.
     fn prepare(&self, spec: RunSpec) -> (Simulator, Arc<TraceBundle>) {
+        self.prepare_faulted(spec, None)
+    }
+
+    /// [`prepare`](Self::prepare) with an optional fault-plan override:
+    /// `Some(plan)` replaces whatever `sim.faults` the suite config holds.
+    fn prepare_faulted(
+        &self,
+        spec: RunSpec,
+        faults: Option<&FaultPlan>,
+    ) -> (Simulator, Arc<TraceBundle>) {
         let app = &self.apps[spec.app];
         let class = LayoutClass::of(spec.kind);
         let bundle = self.traces(spec.app, class);
@@ -263,6 +274,9 @@ impl Suite {
             RunKind::Baseline | RunKind::Optimal => PagePolicy::Interleaved,
         };
         let mut cfg = self.sim.clone();
+        if let Some(plan) = faults {
+            cfg.faults = Some(plan.clone());
+        }
         cfg.optimal = spec.kind == RunKind::Optimal;
         cfg.mlp = app.mlp;
         let sim = Simulator::new(cfg, self.mapping.clone(), policy);
@@ -283,6 +297,37 @@ impl Suite {
     pub fn run_one_traced(&self, spec: RunSpec, obs: ObsConfig) -> (RunStats, ObsReport) {
         let (sim, bundle) = self.prepare(spec);
         sim.with_obs(obs).run_traced(&bundle.workload)
+    }
+
+    /// Runs one matrix cell under a fault plan. The empty plan is provably
+    /// inert: `run_one_faulted(spec, &FaultPlan::none())` is bit-identical
+    /// to [`run_one`](Self::run_one) (asserted by the fault suite).
+    pub fn run_one_faulted(&self, spec: RunSpec, plan: &FaultPlan) -> RunStats {
+        let (sim, bundle) = self.prepare_faulted(spec, Some(plan));
+        sim.run(&bundle.workload)
+    }
+
+    /// [`run_one_faulted`](Self::run_one_faulted) with observability.
+    pub fn run_one_faulted_traced(
+        &self,
+        spec: RunSpec,
+        plan: &FaultPlan,
+        obs: ObsConfig,
+    ) -> (RunStats, ObsReport) {
+        let (sim, bundle) = self.prepare_faulted(spec, Some(plan));
+        sim.with_obs(obs).run_traced(&bundle.workload)
+    }
+
+    /// Fans a fault-plan sweep of one matrix cell across `jobs` workers,
+    /// collected in plan order (deterministic at any job count, like
+    /// [`run_matrix`](Self::run_matrix)).
+    pub fn run_fault_sweep(
+        &self,
+        spec: RunSpec,
+        plans: &[FaultPlan],
+        jobs: usize,
+    ) -> Vec<RunStats> {
+        parallel_map(plans, jobs, |plan| self.run_one_faulted(spec, plan))
     }
 
     /// Runs a matrix of specs across `jobs` worker threads and collects
@@ -391,6 +436,17 @@ pub fn parallel_map<T: Sync, R: Send + Sync>(
         .collect()
 }
 
+/// The fault-plan topology implied by a simulator configuration: the shape
+/// [`hoploc_fault::FaultPlan::from_seed`] generates against and
+/// [`hoploc_fault::FaultPlan::validate`] checks.
+pub fn fault_topo(sim: &SimConfig) -> FaultTopo {
+    FaultTopo {
+        links: (sim.num_nodes() * 4) as u32,
+        mcs: sim.num_mcs() as u16,
+        banks_per_mc: sim.mc.banks as u16,
+    }
+}
+
 /// A sensible default worker count: the machine's available parallelism.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
@@ -448,7 +504,8 @@ pub fn to_json(records: &[RunRecord], counters: Option<CacheCounters>) -> String
              \"cache_to_cache\": {}, \"offchip_accesses\": {}, \
              \"offchip_fraction\": {:.6}, \"avg_offchip_hops\": {:.6}, \
              \"onchip_net_latency\": {:.6}, \"offchip_net_latency\": {:.6}, \
-             \"memory_latency\": {:.6}, \"os_fallbacks\": {}}}",
+             \"memory_latency\": {:.6}, \"os_fallbacks\": {}, \
+             \"rehomed\": {}, \"dropped\": {}, \"backstop_flushes\": {}}}",
             json_string(&r.app),
             kind_name(r.kind),
             s.exec_cycles,
@@ -463,6 +520,9 @@ pub fn to_json(records: &[RunRecord], counters: Option<CacheCounters>) -> String
             s.offchip_net_latency(),
             s.memory_latency(),
             s.os_fallbacks,
+            s.rehomed_requests,
+            s.dropped_requests,
+            s.backstop_flushes,
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -608,6 +668,29 @@ mod tests {
     #[test]
     fn json_escapes_strings() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic_and_empty_plan_inert() {
+        use hoploc_fault::FaultRates;
+        let s = suite2();
+        let spec = RunSpec {
+            app: 0,
+            kind: RunKind::Baseline,
+        };
+        // Empty plan == no plan, bit for bit.
+        assert_eq!(
+            s.run_one_faulted(spec, &FaultPlan::none()),
+            s.run_one(spec),
+            "empty plan must be inert"
+        );
+        let topo = fault_topo(s.sim());
+        let plans: Vec<FaultPlan> = (0..6)
+            .map(|seed| FaultPlan::from_seed(seed, &topo, &FaultRates::moderate()))
+            .collect();
+        let par = s.run_fault_sweep(spec, &plans, 4);
+        let seq = s.run_fault_sweep(spec, &plans, 1);
+        assert_eq!(par, seq, "fault sweep diverged across job counts");
     }
 
     #[test]

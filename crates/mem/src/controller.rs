@@ -75,12 +75,111 @@ impl Default for McConfig {
 pub struct Completion {
     /// Caller-supplied identifier.
     pub token: u64,
-    /// Cycle at which the response data leaves the controller.
+    /// Cycle at which the response data leaves the controller (for a
+    /// dropped request: when the final failed attempt released the bank).
     pub finish: u64,
-    /// Cycles the request waited before service began.
+    /// Cycles the request waited before service began. For retried
+    /// requests this covers the wait since the last requeue only.
     pub queue_cycles: u64,
     /// Cycles of actual DRAM service (including the channel burst).
     pub service_cycles: u64,
+    /// The request exhausted its retry budget and carries no data; the
+    /// simulator delivers an error response instead of the line.
+    pub dropped: bool,
+}
+
+/// A window of degraded service on one DRAM bank.
+///
+/// While `from <= cycle < until`, every service attempt that *starts* in
+/// the window is stretched by `stall_cycles`, and — when `error_period > 0`
+/// — fails transiently with deterministic rate `1/error_period`, decided by
+/// hashing `(plan seed, token, attempt)`. Failed attempts re-enter the bank
+/// queue under the controller's [`RetryPolicy`] until the retry cap drops
+/// them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BankFault {
+    /// Bank index within the controller.
+    pub bank: u16,
+    /// First cycle of the window (inclusive).
+    pub from: u64,
+    /// End of the window (exclusive).
+    pub until: u64,
+    /// Extra busy cycles charged to every attempt starting in the window.
+    pub stall_cycles: u64,
+    /// Mean attempts per transient error (`0` = never error, `1` = every
+    /// attempt in the window errors).
+    pub error_period: u64,
+}
+
+impl BankFault {
+    /// Whether the window is active at `cycle`.
+    pub fn active_at(&self, cycle: u64) -> bool {
+        self.from <= cycle && cycle < self.until
+    }
+}
+
+/// Bounded exponential backoff with a per-request retry cap.
+///
+/// Attempt `k` (0-based) that fails transiently re-arrives after
+/// `min(base_backoff << k, max_backoff)` cycles; after `max_retries`
+/// failed attempts the request is dropped (completion with
+/// [`Completion::dropped`] set). The cap is what guarantees termination
+/// under any fault plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Backoff after the first failed attempt (clamped to ≥ 1 cycle).
+    pub base_backoff: u64,
+    /// Upper bound on any single backoff.
+    pub max_backoff: u64,
+    /// Failed attempts allowed before the request is dropped.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base_backoff: 16,
+            max_backoff: 4096,
+            max_retries: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff after failed attempt `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let shift = attempt.min(20);
+        self.base_backoff
+            .max(1)
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff.max(1))
+    }
+}
+
+/// The fault inputs one controller receives from a compiled fault plan.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct McFaults {
+    /// Plan seed; mixed with (token, attempt) to decide transient errors.
+    pub seed: u64,
+    /// Bank-fault windows on this controller's banks.
+    pub banks: Vec<BankFault>,
+    /// Retry/backoff policy for transient errors.
+    pub retry: RetryPolicy,
+}
+
+/// Deterministic transient-error decision: splitmix64-style finalizer over
+/// `(seed, token, attempt)`, failing one in `period` attempts on average.
+fn transient_failure(seed: u64, token: u64, attempt: u32, period: u64) -> bool {
+    if period == 0 {
+        return false;
+    }
+    let mut z = seed
+        ^ token.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ((attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z.is_multiple_of(period)
 }
 
 /// Aggregate controller statistics.
@@ -96,6 +195,16 @@ pub struct McStats {
     pub total_service_cycles: u64,
     /// Largest queue depth observed across banks.
     pub max_queue_depth: usize,
+    /// Service attempts that failed transiently in a fault window
+    /// (`transient_errors == retries + dropped`).
+    pub transient_errors: u64,
+    /// Failed attempts that re-entered a bank queue after backoff.
+    pub retries: u64,
+    /// Requests dropped after exhausting the retry cap (not counted in
+    /// [`served`](Self::served)).
+    pub dropped: u64,
+    /// Extra bank-busy cycles charged by active stall windows.
+    pub fault_stall_cycles: u64,
 }
 
 impl McStats {
@@ -145,6 +254,8 @@ struct Pending {
     row: u64,
     arrival: u64,
     seq: u64,
+    /// Failed service attempts so far (0 until a transient error).
+    attempt: u32,
 }
 
 #[derive(Clone, Debug)]
@@ -174,6 +285,9 @@ pub struct MemoryController {
     channel_free_at: Vec<u64>,
     stats: McStats,
     seq: u64,
+    /// Injected bank faults; `None` keeps the scheduling path byte-identical
+    /// to a fault-free controller.
+    faults: Option<McFaults>,
 }
 
 impl MemoryController {
@@ -201,7 +315,46 @@ impl MemoryController {
             channel_free_at: vec![0; config.channels],
             stats: McStats::default(),
             seq: 0,
+            faults: None,
         }
+    }
+
+    /// Installs bank-fault windows and the retry policy. Empty bank-fault
+    /// lists clear injection and restore the exact fault-free scheduling
+    /// path. Panics on a bank index outside the controller (plans are
+    /// validated upstream; this is a backstop).
+    pub fn set_faults(&mut self, faults: McFaults) {
+        if faults.banks.is_empty() {
+            self.faults = None;
+            return;
+        }
+        for f in &faults.banks {
+            assert!(
+                (f.bank as usize) < self.config.banks,
+                "bank fault on {} but controller has {} banks",
+                f.bank,
+                self.config.banks
+            );
+        }
+        self.faults = Some(faults);
+    }
+
+    /// Active stall cycles and transient-failure decision for an attempt on
+    /// `bank` starting at `start`. Stalls from overlapping windows add up; a
+    /// failure from any window fails the attempt.
+    fn fault_at(&self, bank: usize, start: u64, token: u64, attempt: u32) -> (u64, bool) {
+        let Some(f) = &self.faults else {
+            return (0, false);
+        };
+        let mut stall = 0;
+        let mut fail = false;
+        for w in f.banks.iter().filter(|w| w.bank as usize == bank) {
+            if w.active_at(start) {
+                stall += w.stall_cycles;
+                fail = fail || transient_failure(f.seed, token, attempt, w.error_period);
+            }
+        }
+        (stall, fail)
     }
 
     /// The controller's configuration.
@@ -247,11 +400,15 @@ impl MemoryController {
             let row = addr / self.config.row_bytes;
             let bank = (row % self.config.banks as u64) as u16;
             sink.bank_service(mc, bank, token, now, now, now + service, true, 0);
+            // The ideal controller abstracts banks away entirely, so bank
+            // faults don't apply to it (MC outages are handled above it, in
+            // the simulator's re-homing).
             return vec![Completion {
                 token,
                 finish: now + service,
                 queue_cycles: 0,
                 service_cycles: service,
+                dropped: false,
             }];
         }
         // Finalize all service decisions that start before this arrival.
@@ -263,6 +420,7 @@ impl MemoryController {
             row,
             arrival: now,
             seq: self.seq,
+            attempt: 0,
         });
         self.seq += 1;
         let depth = self.banks[bank].queue.len();
@@ -363,9 +521,54 @@ impl MemoryController {
                 } else {
                     self.config.timing.row_miss_cycles
                 };
-                // Bank busy for the access; the response burst then
-                // serializes on the bank's data channel.
-                let bank_done = start + core_service;
+                // Fault windows active at the attempt's start stretch the
+                // access and may fail it transiently.
+                let (stall, fail) = self.fault_at(b, start, p.token, p.attempt);
+                if stall > 0 {
+                    self.stats.fault_stall_cycles += stall;
+                    sink.bank_stall(mc, b as u16, p.token, start, stall);
+                }
+                // Bank busy for the (possibly stalled) access; a successful
+                // response burst then serializes on the bank's data channel.
+                let bank_done = start + core_service + stall;
+                if fail {
+                    // The failed attempt occupied the bank and activated the
+                    // row, but no data moved: no channel burst, not served.
+                    self.banks[b].free_at = bank_done;
+                    self.banks[b].open_row = match self.config.row_policy {
+                        RowPolicy::Open => Some(p.row),
+                        RowPolicy::Closed => None,
+                    };
+                    self.stats.transient_errors += 1;
+                    let retry = self.faults.as_ref().map(|f| f.retry).unwrap_or_default();
+                    if p.attempt >= retry.max_retries {
+                        self.stats.dropped += 1;
+                        sink.mc_drop(mc, p.token, bank_done);
+                        done.push(Completion {
+                            token: p.token,
+                            finish: bank_done,
+                            queue_cycles: start - p.arrival,
+                            service_cycles: bank_done - start,
+                            dropped: true,
+                        });
+                    } else {
+                        let backoff = retry.backoff(p.attempt);
+                        self.stats.retries += 1;
+                        sink.mc_retry(mc, p.token, bank_done, backoff);
+                        // Re-enter the queue as a fresh arrival after the
+                        // backoff; a new seq makes it younger than every
+                        // waiting request, so retries can't starve others.
+                        self.banks[b].queue.push(Pending {
+                            token: p.token,
+                            row: p.row,
+                            arrival: bank_done + backoff,
+                            seq: self.seq,
+                            attempt: p.attempt + 1,
+                        });
+                        self.seq += 1;
+                    }
+                    continue;
+                }
                 let ch = b % self.config.channels;
                 let burst_start = bank_done.max(self.channel_free_at[ch]);
                 let finish = burst_start + self.config.timing.burst_cycles;
@@ -398,6 +601,7 @@ impl MemoryController {
                     finish,
                     queue_cycles,
                     service_cycles,
+                    dropped: false,
                 });
             }
         }
@@ -626,6 +830,179 @@ mod tests {
         assert_eq!(rep.counter_family("mc.queue_cycles")[0], 0);
         let h = rep.registry().histogram("mc.queue_wait_cycles").unwrap();
         assert_eq!(h.quantile(1.0), 0, "ideal mode never queues");
+    }
+
+    fn always_faulty(period: u64, retry: RetryPolicy) -> McFaults {
+        McFaults {
+            seed: 42,
+            banks: (0..8)
+                .map(|b| BankFault {
+                    bank: b,
+                    from: 0,
+                    until: u64::MAX,
+                    stall_cycles: 0,
+                    error_period: period,
+                })
+                .collect(),
+            retry,
+        }
+    }
+
+    #[test]
+    fn stall_window_stretches_service() {
+        let mut m = mc();
+        m.set_faults(McFaults {
+            seed: 1,
+            banks: vec![BankFault {
+                bank: 0,
+                from: 0,
+                until: u64::MAX,
+                stall_cycles: 100,
+                error_period: 0,
+            }],
+            retry: RetryPolicy::default(),
+        });
+        let mut done = m.enqueue(0, 1, 0);
+        done.extend(m.flush());
+        let t = DramTiming::default();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].finish, t.row_miss_cycles + 100 + t.burst_cycles);
+        assert!(!done[0].dropped);
+        assert_eq!(m.stats().fault_stall_cycles, 100);
+        assert_eq!(m.stats().transient_errors, 0);
+    }
+
+    #[test]
+    fn transient_error_retries_then_succeeds_outside_window() {
+        let mut m = mc();
+        // Only cycle 0 is in the window; error_period 1 fails the first
+        // attempt, and the backoff re-arrival lands outside it.
+        m.set_faults(McFaults {
+            seed: 9,
+            banks: vec![BankFault {
+                bank: 0,
+                from: 0,
+                until: 1,
+                stall_cycles: 0,
+                error_period: 1,
+            }],
+            retry: RetryPolicy::default(),
+        });
+        let mut done = m.enqueue(0, 5, 0);
+        done.extend(m.flush());
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].dropped);
+        let s = m.stats();
+        assert_eq!((s.served, s.retries, s.dropped), (1, 1, 0));
+        let t = DramTiming::default();
+        assert!(
+            done[0].finish > t.row_miss_cycles + t.burst_cycles,
+            "the retry must cost time"
+        );
+    }
+
+    #[test]
+    fn retry_cap_drops_the_request() {
+        let mut m = mc();
+        let retry = RetryPolicy {
+            base_backoff: 4,
+            max_backoff: 16,
+            max_retries: 3,
+        };
+        m.set_faults(always_faulty(1, retry));
+        let mut done = m.enqueue(0, 5, 0);
+        done.extend(m.flush());
+        assert_eq!(
+            done.len(),
+            1,
+            "a dropped request still completes exactly once"
+        );
+        assert!(done[0].dropped);
+        let s = m.stats();
+        assert_eq!(s.served, 0);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.transient_errors, s.retries + s.dropped);
+    }
+
+    #[test]
+    fn conservation_and_determinism_under_heavy_faults() {
+        let run = || {
+            let mut m = mc();
+            m.set_faults(always_faulty(3, RetryPolicy::default()));
+            let mut done = Vec::new();
+            for k in 0..200u64 {
+                done.extend(m.enqueue((k % 16) * 4096, k, k * 7));
+            }
+            done.extend(m.flush());
+            (done, *m.stats())
+        };
+        let (done, stats) = run();
+        // Every token completes exactly once, served or dropped.
+        let mut tokens: Vec<u64> = done.iter().map(|c| c.token).collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), 200, "no lost or duplicated tokens");
+        assert_eq!(stats.served + stats.dropped, 200);
+        assert_eq!(stats.transient_errors, stats.retries + stats.dropped);
+        // Same plan, same arrivals: bit-identical outcome.
+        let (done2, stats2) = run();
+        assert_eq!(done, done2);
+        assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let r = RetryPolicy {
+            base_backoff: 16,
+            max_backoff: 100,
+            max_retries: 10,
+        };
+        assert_eq!(r.backoff(0), 16);
+        assert_eq!(r.backoff(1), 32);
+        assert_eq!(r.backoff(2), 64);
+        assert_eq!(r.backoff(3), 100, "capped at max_backoff");
+        assert_eq!(r.backoff(63), 100, "huge attempts don't overflow");
+        let zero = RetryPolicy {
+            base_backoff: 0,
+            max_backoff: 0,
+            max_retries: 1,
+        };
+        assert_eq!(zero.backoff(0), 1, "backoff is clamped to at least 1");
+    }
+
+    #[test]
+    fn empty_faults_are_inert() {
+        let drive = |m: &mut MemoryController| {
+            let mut done = Vec::new();
+            for k in 0..50u64 {
+                done.extend(m.enqueue((k % 5) * 64, k, k * 11));
+            }
+            done.extend(m.flush());
+            done
+        };
+        let mut clean = mc();
+        let mut cleared = mc();
+        cleared.set_faults(McFaults::default());
+        assert_eq!(drive(&mut clean), drive(&mut cleared));
+        assert_eq!(clean.stats(), cleared.stats());
+        assert_eq!(clean.stats().transient_errors, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "banks")]
+    fn out_of_range_bank_fault_panics() {
+        mc().set_faults(McFaults {
+            seed: 0,
+            banks: vec![BankFault {
+                bank: 8, // one past the last bank of the default config
+                from: 0,
+                until: 1,
+                stall_cycles: 1,
+                error_period: 0,
+            }],
+            retry: RetryPolicy::default(),
+        });
     }
 
     #[test]

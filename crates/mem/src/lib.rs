@@ -14,5 +14,7 @@
 mod controller;
 mod timing;
 
-pub use controller::{Completion, McConfig, McStats, MemoryController, RowPolicy};
+pub use controller::{
+    BankFault, Completion, McConfig, McFaults, McStats, MemoryController, RetryPolicy, RowPolicy,
+};
 pub use timing::DramTiming;

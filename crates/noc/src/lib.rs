@@ -27,4 +27,6 @@ mod network;
 
 pub use cluster::{ClusterId, L2ToMcMapping, MappingError};
 pub use geometry::{McId, McPlacement, Mesh, NodeId};
-pub use network::{ClassStats, NetStats, Network, NocConfig, Routing, TrafficClass, MAX_HOPS};
+pub use network::{
+    ClassStats, LinkFault, NetStats, Network, NocConfig, Routing, TrafficClass, MAX_HOPS,
+};

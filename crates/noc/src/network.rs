@@ -87,6 +87,10 @@ pub struct NetStats {
     pub on_chip: ClassStats,
     /// Off-chip (to/from memory controllers) traffic.
     pub off_chip: ClassStats,
+    /// Link traversals that crossed an active [`LinkFault`] window.
+    pub fault_hops: u64,
+    /// Total extra cycles charged by link-fault windows.
+    pub fault_cycles: u64,
 }
 
 impl NetStats {
@@ -94,6 +98,7 @@ impl NetStats {
         Self {
             on_chip: ClassStats::new(),
             off_chip: ClassStats::new(),
+            ..Default::default()
         }
     }
 
@@ -146,6 +151,33 @@ impl Default for NocConfig {
     }
 }
 
+/// A window of degraded service on one directed link.
+///
+/// While `from <= cycle < until`, every message hop that departs on
+/// `link` is charged `extra_cycles` of additional traversal latency, and
+/// (under contention) holds the link that much longer — modelling a
+/// marginal link that has dropped to a slower signalling rate or is
+/// retransmitting at the physical layer. Link ids use the same
+/// `node * 4 + direction` encoding as [`Network::link_utilization`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkFault {
+    /// Directed link id (`node * 4 + direction`).
+    pub link: u32,
+    /// First cycle of the window (inclusive).
+    pub from: u64,
+    /// End of the window (exclusive).
+    pub until: u64,
+    /// Extra cycles per traversal while the window is active.
+    pub extra_cycles: u64,
+}
+
+impl LinkFault {
+    /// Whether the window is active at `cycle`.
+    pub fn active_at(&self, cycle: u64) -> bool {
+        self.from <= cycle && cycle < self.until
+    }
+}
+
 /// The mesh interconnect with per-link occupancy tracking.
 ///
 /// # Examples
@@ -167,6 +199,10 @@ pub struct Network {
     free_at: Vec<u64>,
     /// Flit-cycles consumed per directed link (utilization accounting).
     flit_cycles: Vec<u64>,
+    /// Injected fault windows per directed link; empty when no fault plan
+    /// is installed, in which case the send path is byte-identical to a
+    /// fault-free network.
+    faults: Vec<Vec<LinkFault>>,
     stats: NetStats,
 }
 
@@ -184,8 +220,40 @@ impl Network {
             config,
             free_at: vec![0; mesh.num_nodes() * 4],
             flit_cycles: vec![0; mesh.num_nodes() * 4],
+            faults: Vec::new(),
             stats: NetStats::new(),
         }
+    }
+
+    /// Installs link-fault windows. Passing an empty slice clears them and
+    /// restores the exact fault-free timing path. Panics on a link id
+    /// outside the mesh (plans are validated upstream; this is a backstop).
+    pub fn set_link_faults(&mut self, faults: &[LinkFault]) {
+        let links = self.mesh.num_nodes() * 4;
+        if faults.is_empty() {
+            self.faults = Vec::new();
+            return;
+        }
+        let mut table = vec![Vec::new(); links];
+        for f in faults {
+            assert!(
+                (f.link as usize) < links,
+                "link fault on {} but mesh has {} directed links",
+                f.link,
+                links
+            );
+            table[f.link as usize].push(*f);
+        }
+        self.faults = table;
+    }
+
+    /// Sum of extra cycles from windows active on `link` at `cycle`.
+    fn fault_extra(&self, link: usize, cycle: u64) -> u64 {
+        self.faults[link]
+            .iter()
+            .filter(|f| f.active_at(cycle))
+            .map(|f| f.extra_cycles)
+            .sum()
     }
 
     /// The underlying mesh.
@@ -260,16 +328,30 @@ impl Network {
                 let link = self.link_id(from, next);
                 self.flit_cycles[link] += flits;
                 let depart = if self.config.contention {
-                    let d = t.max(self.free_at[link]);
-                    self.free_at[link] = d + flits;
-                    d
+                    t.max(self.free_at[link])
                 } else {
                     t
                 };
+                // A fault window active at departure slows this traversal
+                // and (under contention) occupies the link for the extra
+                // cycles, so faults back-pressure later traffic too.
+                let extra = if self.faults.is_empty() {
+                    0
+                } else {
+                    self.fault_extra(link, depart)
+                };
+                if self.config.contention {
+                    self.free_at[link] = depart + flits + extra;
+                }
                 sink.hop(link as u32, depart, depart - t, flits, tag);
+                if extra > 0 {
+                    self.stats.fault_hops += 1;
+                    self.stats.fault_cycles += extra;
+                    sink.link_fault(link as u32, depart, extra, tag);
+                }
                 // Wire + downstream router pipeline; the final hop still
                 // pays the router to reach the ejection port.
-                t = depart + self.config.hop_cycles + self.config.router_cycles;
+                t = depart + extra + self.config.hop_cycles + self.config.router_cycles;
                 from = next;
             }
         }
@@ -532,6 +614,80 @@ mod tests {
         for (link, &u) in util.iter().enumerate() {
             assert!((u - flits[link] as f64 / 1000.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn link_fault_window_adds_latency_and_backpressure() {
+        let mut clean = net4();
+        let base = clean.send(NodeId(0), NodeId(3), 8, TrafficClass::OffChip, 0);
+        let mut faulty = net4();
+        faulty.set_link_faults(&[LinkFault {
+            link: 0, // node 0, EAST: the first hop of 0 -> 3
+            from: 0,
+            until: 1_000,
+            extra_cycles: 7,
+        }]);
+        let a = faulty.send(NodeId(0), NodeId(3), 8, TrafficClass::OffChip, 0);
+        assert_eq!(a, base + 7, "one faulted hop adds exactly its extra cycles");
+        assert_eq!(faulty.stats().fault_hops, 1);
+        assert_eq!(faulty.stats().fault_cycles, 7);
+        // Outside the window the link is healthy again.
+        let b = faulty.send(NodeId(0), NodeId(3), 8, TrafficClass::OffChip, 2_000);
+        assert_eq!(b - 2_000, base);
+        assert_eq!(faulty.stats().fault_hops, 1);
+    }
+
+    #[test]
+    fn faulted_link_backpressures_followers() {
+        // The extra cycles extend link occupancy, so a message right behind
+        // the faulted one queues longer than under a clean link.
+        let mut clean = net4();
+        clean.send(NodeId(0), NodeId(1), 256, TrafficClass::OffChip, 0);
+        let clean_follow = clean.send(NodeId(0), NodeId(1), 8, TrafficClass::OnChip, 0);
+        let mut faulty = net4();
+        faulty.set_link_faults(&[LinkFault {
+            link: 0,
+            from: 0,
+            until: 10,
+            extra_cycles: 50,
+        }]);
+        faulty.send(NodeId(0), NodeId(1), 256, TrafficClass::OffChip, 0);
+        let faulty_follow = faulty.send(NodeId(0), NodeId(1), 8, TrafficClass::OnChip, 0);
+        // The follower departs after the window closed, so it pays no extra
+        // itself — only the inherited occupancy delay.
+        assert_eq!(faulty_follow, clean_follow + 50);
+        assert_eq!(faulty.stats().fault_hops, 1);
+    }
+
+    #[test]
+    fn empty_fault_set_is_inert() {
+        let mut clean = net4();
+        let mut cleared = net4();
+        cleared.set_link_faults(&[LinkFault {
+            link: 0,
+            from: 0,
+            until: u64::MAX,
+            extra_cycles: 99,
+        }]);
+        cleared.set_link_faults(&[]);
+        for d in [3u16, 12, 15, 0, 7] {
+            let a = clean.send(NodeId(0), NodeId(d), 64, TrafficClass::OffChip, 5);
+            let b = cleared.send(NodeId(0), NodeId(d), 64, TrafficClass::OffChip, 5);
+            assert_eq!(a, b);
+        }
+        assert_eq!(clean.stats(), cleared.stats());
+        assert_eq!(clean.stats().fault_cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "directed links")]
+    fn out_of_range_link_fault_panics() {
+        net4().set_link_faults(&[LinkFault {
+            link: 4 * 4 * 4, // one past the last directed link of a 4x4 mesh
+            from: 0,
+            until: 1,
+            extra_cycles: 1,
+        }]);
     }
 
     #[test]

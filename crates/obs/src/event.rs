@@ -133,6 +133,15 @@ pub enum EvName {
     BankRowHit,
     /// Bank service that missed the open row.
     BankRowMiss,
+    /// A link traversal delayed by an injected link-fault window.
+    LinkFault,
+    /// Bank service stretched by an injected bank-stall window.
+    BankStall,
+    /// A transient MC error: the request re-enters the bank queue after its
+    /// backoff (span duration = backoff cycles).
+    McRetry,
+    /// A request dropped after exhausting its retry budget.
+    Dropped,
 }
 
 impl EvName {
@@ -147,6 +156,10 @@ impl EvName {
             EvName::McQueue => "queue",
             EvName::BankRowHit => "row_hit",
             EvName::BankRowMiss => "row_miss",
+            EvName::LinkFault => "link_fault",
+            EvName::BankStall => "bank_stall",
+            EvName::McRetry => "retry",
+            EvName::Dropped => "dropped",
         }
     }
 }

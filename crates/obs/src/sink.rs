@@ -122,6 +122,21 @@ struct Ids {
     win_row_misses: SeriesId,
     win_net_msgs: [SeriesId; 2],
     win_queue_peak: SeriesId,
+    // Fault-injection families. Registered unconditionally (after every
+    // pre-existing family, preserving their serialization order) so a
+    // zero-fault plan's metrics snapshot is byte-identical to an unfaulted
+    // run's: both serialize the same families, all zero.
+    fault_link_hops: CounterId,
+    fault_link_cycles: CounterId,
+    fault_bank_stalls: CounterId,
+    fault_bank_stall_cycles: CounterId,
+    fault_retries: CounterId,
+    fault_dropped: CounterId,
+    fault_rehomed: CounterId,
+    backstop_flushes: CounterId,
+    backstop_pending: CounterId,
+    h_dropped: HistId,
+    win_faults: SeriesId,
 }
 
 /// Mutable recording state for one simulation run.
@@ -212,6 +227,17 @@ impl Recorder {
                 reg.series("win.offchip_msgs", e, WindowMode::Add),
             ],
             win_queue_peak: reg.series("win.mc_queue_depth_peak", e, WindowMode::Max),
+            fault_link_hops: reg.counter("fault.link.hops", 1),
+            fault_link_cycles: reg.counter("fault.link.extra_cycles", topo.links()),
+            fault_bank_stalls: reg.counter("fault.bank.stalls", topo.mcs),
+            fault_bank_stall_cycles: reg.counter("fault.bank.stall_cycles", topo.mcs),
+            fault_retries: reg.counter("fault.mc.retries", topo.mcs),
+            fault_dropped: reg.counter("fault.mc.dropped", topo.mcs),
+            fault_rehomed: reg.counter("fault.rehomed", topo.mcs),
+            backstop_flushes: reg.counter("sim.backstop_flushes", 1),
+            backstop_pending: reg.counter("sim.backstop_pending", 1),
+            h_dropped: reg.hist("req.dropped_cycles"),
+            win_faults: reg.series("win.fault_events", e, WindowMode::Add),
         };
         Recorder {
             topo,
@@ -412,6 +438,51 @@ impl Sink {
         });
     }
 
+    /// The request was dropped after exhausting its retry budget: close its
+    /// span as [`EvName::Dropped`] and record time-to-drop.
+    pub fn drop_req(&self, tag: ReqTag, ts: u64) {
+        if !tag.is_some() {
+            return;
+        }
+        self.with(|r| {
+            let Some(f) = r.inflight.remove(&tag.id) else {
+                return;
+            };
+            let dur = ts.saturating_sub(f.start);
+            r.reg.observe(r.ids.h_dropped, dur);
+            if Sink::span_allowed(r, tag) {
+                r.push_event(SpanEvent {
+                    track: Track::Core(f.node),
+                    name: EvName::Dropped,
+                    ts: f.start,
+                    dur,
+                    req: tag.id,
+                    arg: 0,
+                });
+            }
+        });
+    }
+
+    /// An off-chip request bound for dark controller `from_mc` was re-homed
+    /// to live controller `to_mc`.
+    pub fn rehome(&self, ts: u64, from_mc: u16, to_mc: u16) {
+        let _ = to_mc;
+        self.with(|r| {
+            r.reg.inc(r.ids.fault_rehomed, from_mc as usize, 1);
+            r.reg.sample(r.ids.win_faults, ts, 1);
+        });
+    }
+
+    /// The simulator's liveness backstop fired: the event heap drained with
+    /// `pending` requests still in flight and the MCs were force-flushed.
+    pub fn backstop(&self, ts: u64, pending: usize) {
+        let _ = ts;
+        self.with(|r| {
+            r.reg.inc(r.ids.backstop_flushes, 0, 1);
+            r.reg.inc(r.ids.backstop_pending, 0, pending as u64);
+        });
+    }
+
     /// Associate an MC token with the request it serves, so bank-service
     /// events can be attributed.
     pub fn bind_token(&self, token: u64, tag: ReqTag) {
@@ -459,6 +530,26 @@ impl Sink {
                     dur: flits,
                     req: tag.id,
                     arg: wait,
+                });
+            }
+        });
+    }
+
+    /// A link traversal was delayed `extra` cycles by an active link-fault
+    /// window.
+    pub fn link_fault(&self, link: u32, depart: u64, extra: u64, tag: ReqTag) {
+        self.with(|r| {
+            r.reg.inc(r.ids.fault_link_hops, 0, 1);
+            r.reg.inc(r.ids.fault_link_cycles, link as usize, extra);
+            r.reg.sample(r.ids.win_faults, depart, 1);
+            if Sink::span_allowed(r, tag) {
+                r.push_event(SpanEvent {
+                    track: Track::Link(link),
+                    name: EvName::LinkFault,
+                    ts: depart,
+                    dur: extra,
+                    req: tag.id,
+                    arg: 0,
                 });
             }
         });
@@ -535,6 +626,78 @@ impl Sink {
                     name,
                     ts: start,
                     dur: service_cycles,
+                    req,
+                    arg: 0,
+                });
+            }
+        });
+    }
+
+    /// Whether a span attributed via a token→request lookup (which may have
+    /// found nothing: `req == u64::MAX`) should be drawn.
+    fn token_span_allowed(r: &Recorder, req: u64) -> bool {
+        r.config.record_spans
+            && (req == u64::MAX || r.config.span_capacity == 0 || req < r.config.span_capacity)
+    }
+
+    /// A bank service at `mc`/`bank` was stretched `stall` cycles by an
+    /// active bank-stall window. `start` is when the stalled service began.
+    pub fn bank_stall(&self, mc: u16, bank: u16, token: u64, start: u64, stall: u64) {
+        self.with(|r| {
+            let m = mc as usize;
+            r.reg.inc(r.ids.fault_bank_stalls, m, 1);
+            r.reg.inc(r.ids.fault_bank_stall_cycles, m, stall);
+            r.reg.sample(r.ids.win_faults, start, 1);
+            let req = r.token_req.get(&token).copied().unwrap_or(u64::MAX);
+            if Sink::token_span_allowed(r, req) {
+                let b = m * r.topo.banks_per_mc + bank as usize;
+                r.push_event(SpanEvent {
+                    track: Track::Bank(b as u32),
+                    name: EvName::BankStall,
+                    ts: start,
+                    dur: stall,
+                    req,
+                    arg: 0,
+                });
+            }
+        });
+    }
+
+    /// A transient error at `mc` failed the request behind `token`; it will
+    /// retry after `backoff` cycles (span drawn over the backoff interval).
+    /// The token binding survives, so the eventual successful service (or
+    /// drop) is still attributed.
+    pub fn mc_retry(&self, mc: u16, token: u64, ts: u64, backoff: u64) {
+        self.with(|r| {
+            r.reg.inc(r.ids.fault_retries, mc as usize, 1);
+            r.reg.sample(r.ids.win_faults, ts, 1);
+            let req = r.token_req.get(&token).copied().unwrap_or(u64::MAX);
+            if Sink::token_span_allowed(r, req) {
+                r.push_event(SpanEvent {
+                    track: Track::McQueue(mc),
+                    name: EvName::McRetry,
+                    ts,
+                    dur: backoff,
+                    req,
+                    arg: 0,
+                });
+            }
+        });
+    }
+
+    /// The request behind `token` exhausted its retry budget at `mc` and was
+    /// dropped; the token binding is consumed.
+    pub fn mc_drop(&self, mc: u16, token: u64, ts: u64) {
+        self.with(|r| {
+            r.reg.inc(r.ids.fault_dropped, mc as usize, 1);
+            r.reg.sample(r.ids.win_faults, ts, 1);
+            let req = r.token_req.remove(&token).unwrap_or(u64::MAX);
+            if Sink::token_span_allowed(r, req) {
+                r.push_event(SpanEvent {
+                    track: Track::McQueue(mc),
+                    name: EvName::Dropped,
+                    ts,
+                    dur: 0,
                     req,
                     arg: 0,
                 });
@@ -703,6 +866,58 @@ mod tests {
                 .quantile(0.5),
             50
         );
+    }
+
+    #[test]
+    fn fault_records_count_and_draw_spans() {
+        let s = Sink::recording(topo(), ObsConfig::default());
+        let tag = s.begin_req(0, 1);
+        s.offchip(tag, 1, 1, 0);
+        s.bind_token(7, tag);
+        s.link_fault(3, 10, 5, tag);
+        s.bank_stall(0, 1, 7, 20, 9);
+        s.mc_retry(0, 7, 40, 16);
+        s.mc_drop(0, 7, 80);
+        s.drop_req(tag, 90);
+        s.rehome(85, 1, 0);
+        s.backstop(100, 2);
+        let rep = s.into_report(200).unwrap();
+        assert_eq!(rep.counter("fault.link.hops"), 1);
+        assert_eq!(rep.counter_family("fault.link.extra_cycles")[3], 5);
+        assert_eq!(rep.counter_family("fault.bank.stalls")[0], 1);
+        assert_eq!(rep.counter_family("fault.bank.stall_cycles")[0], 9);
+        assert_eq!(rep.counter_family("fault.mc.retries")[0], 1);
+        assert_eq!(rep.counter_family("fault.mc.dropped")[0], 1);
+        assert_eq!(rep.counter_family("fault.rehomed")[1], 1);
+        assert_eq!(rep.counter("sim.backstop_flushes"), 1);
+        assert_eq!(rep.counter("sim.backstop_pending"), 2);
+        let names: Vec<&str> = rep.events().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["link_fault", "bank_stall", "retry", "dropped", "dropped"]
+        );
+        // Every fault span is attributed to the request via tag or token.
+        assert!(rep.events().iter().all(|e| e.req == tag.id()));
+        assert_eq!(
+            rep.registry()
+                .histogram("req.dropped_cycles")
+                .unwrap()
+                .quantile(1.0),
+            90
+        );
+    }
+
+    #[test]
+    fn zero_fault_families_serialize_all_zero() {
+        // The fault families exist (all zero) even when nothing faulted, so
+        // a zero-fault run's snapshot matches an unfaulted run's bytes.
+        let s = Sink::recording(topo(), ObsConfig::default());
+        s.access(0, 0);
+        let rep = s.into_report(10).unwrap();
+        assert_eq!(rep.counter("fault.link.hops"), 0);
+        assert_eq!(rep.counter("fault.rehomed"), 0);
+        assert_eq!(rep.counter("sim.backstop_flushes"), 0);
+        assert!(rep.metrics_json().contains("fault.mc.retries"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulator configuration (Table 1 of the paper).
 
 use hoploc_cache::CacheConfig;
+use hoploc_fault::FaultPlan;
 use hoploc_layout::{Granularity, L2Mode};
 use hoploc_mem::McConfig;
 use hoploc_noc::{McPlacement, Mesh, NocConfig};
@@ -52,6 +53,11 @@ pub struct SimConfig {
     /// Physical memory capacity in bytes (bounds the per-MC frame pools of
     /// the page allocator).
     pub memory_bytes: u64,
+    /// Deterministic fault plan to inject (link latency windows, DRAM bank
+    /// stalls/transient errors with bounded retry, whole-MC outages with
+    /// re-homing). `None` — and equally `Some(FaultPlan::none())` — leaves
+    /// every timing path bit-identical to a fault-free build.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -73,6 +79,7 @@ impl Default for SimConfig {
             mlp: 1,
             writebacks: false,
             memory_bytes: 4 << 30,
+            faults: None,
         }
     }
 }

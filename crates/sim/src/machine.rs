@@ -19,6 +19,7 @@ use crate::os::{Os, PagePolicy};
 use crate::stats::RunStats;
 use crate::trace::TraceWorkload;
 use hoploc_cache::{Directory, SetAssocCache};
+use hoploc_fault::{FaultTopo, McOutage};
 use hoploc_layout::L2Mode;
 use hoploc_mem::{Completion, MemoryController};
 use hoploc_noc::{L2ToMcMapping, McId, Network, NodeId, TrafficClass};
@@ -33,7 +34,9 @@ enum EventKind {
     /// An overlapped (MSHR-tracked) miss returns to its thread.
     MissReturn { thread: usize },
     /// A memory completion surfaced earlier matures (response departs).
-    MemDone { token: u64 },
+    /// `dropped` marks a request abandoned at the retry cap: an error
+    /// reply travels back instead of data.
+    MemDone { token: u64, dropped: bool },
     /// Re-run the FR-FCFS scheduler of a controller.
     McPoll { mc: usize },
 }
@@ -103,6 +106,9 @@ pub struct Simulator {
     pending: HashMap<u64, PendingMem>,
     next_token: u64,
     mc_next_poll: Vec<Option<u64>>,
+    /// Whole-controller outage windows from the installed fault plan
+    /// (empty when no plan: the re-home check short-circuits).
+    outages: Vec<McOutage>,
     // Stats.
     total_accesses: u64,
     l1_hits: u64,
@@ -110,6 +116,9 @@ pub struct Simulator {
     cache_to_cache: u64,
     offchip: u64,
     writebacks: u64,
+    rehomed: u64,
+    dropped: u64,
+    backstop_flushes: u64,
     node_mc_requests: Vec<Vec<u64>>,
     /// Observability sink: disabled unless [`Simulator::with_obs`] was
     /// called, in which case every component mirrors its events here.
@@ -122,7 +131,8 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `mapping` disagrees with the configuration's mesh or MC
-    /// placement.
+    /// placement, or if `config.faults` fails [`hoploc_fault::FaultPlan::validate`]
+    /// against the configured topology.
     pub fn new(config: SimConfig, mapping: L2ToMcMapping, policy: PagePolicy) -> Self {
         assert_eq!(
             *mapping.mesh(),
@@ -138,10 +148,29 @@ impl Simulator {
         let n_mcs = config.num_mcs();
         let mut mc_cfg = config.mc;
         mc_cfg.ideal = config.optimal;
+        let mut net = Network::new(config.mesh, config.noc);
+        let mut mcs: Vec<MemoryController> =
+            (0..n_mcs).map(|_| MemoryController::new(mc_cfg)).collect();
+        let mut outages = Vec::new();
+        if let Some(plan) = &config.faults {
+            let topo = FaultTopo {
+                links: (n * 4) as u32,
+                mcs: n_mcs as u16,
+                banks_per_mc: config.mc.banks as u16,
+            };
+            if let Err(e) = plan.validate(&topo) {
+                panic!("fault plan does not fit the configured machine: {e}");
+            }
+            net.set_link_faults(&plan.links);
+            for (i, mc) in mcs.iter_mut().enumerate() {
+                mc.set_faults(plan.mc_faults(i as u16));
+            }
+            outages = plan.outages.clone();
+        }
         Self {
             os: Os::new(config.page_bytes, config.memory_bytes, n_mcs, policy),
-            net: Network::new(config.mesh, config.noc),
-            mcs: (0..n_mcs).map(|_| MemoryController::new(mc_cfg)).collect(),
+            net,
+            mcs,
             l1: (0..n).map(|_| SetAssocCache::new(config.l1)).collect(),
             l2: (0..n).map(|_| SetAssocCache::new(config.l2)).collect(),
             dir: Directory::new(),
@@ -151,12 +180,16 @@ impl Simulator {
             pending: HashMap::new(),
             next_token: 0,
             mc_next_poll: vec![None; n_mcs],
+            outages,
             total_accesses: 0,
             l1_hits: 0,
             l2_hits: 0,
             cache_to_cache: 0,
             offchip: 0,
             writebacks: 0,
+            rehomed: 0,
+            dropped: 0,
+            backstop_flushes: 0,
             node_mc_requests: vec![vec![0; n_mcs]; n],
             obs: Sink::disabled(),
             config,
@@ -236,12 +269,25 @@ impl Simulator {
             match ev.kind {
                 EventKind::Issue { thread } => self.handle_issue(workload, thread, ev.time),
                 EventKind::MissReturn { thread } => self.miss_return(workload, thread, ev.time),
-                EventKind::MemDone { token } => self.handle_mem_done(workload, token, ev.time),
+                EventKind::MemDone { token, dropped } => {
+                    self.handle_mem_done(workload, token, ev.time, dropped)
+                }
                 EventKind::McPoll { mc } => self.handle_poll(mc, ev.time),
             }
             // Liveness backstop: if the heap drained while requests are
             // still pending (e.g. a poll raced a flush), force scheduling.
+            // A healthy run never gets here — firing means a scheduling
+            // hole, so make it loud and countable instead of silent.
             if self.heap.is_empty() && !self.pending.is_empty() {
+                self.backstop_flushes += 1;
+                self.obs.backstop(ev.time, self.pending.len());
+                eprintln!(
+                    "warning[HL0900]: event heap drained at cycle {} with {} request(s) \
+                     still in flight; force-flushing {} controller(s)",
+                    ev.time,
+                    self.pending.len(),
+                    self.mcs.len()
+                );
                 for mc in 0..self.mcs.len() {
                     let done = self.mcs[mc].flush_obs(mc as u16, &self.obs);
                     self.schedule_completions(&done);
@@ -274,6 +320,9 @@ impl Simulator {
             app_finish,
             os_fallbacks: self.os.fallback_allocations,
             link_utilization,
+            rehomed_requests: self.rehomed,
+            dropped_requests: self.dropped,
+            backstop_flushes: self.backstop_flushes,
         }
     }
 
@@ -294,6 +343,37 @@ impl Simulator {
 
     fn mc_node(&self, mc: usize) -> NodeId {
         self.mapping.mc_node(McId(mc as u16))
+    }
+
+    /// Whether controller `mc` is inside an outage window at `cycle`.
+    fn mc_dark(&self, mc: usize, cycle: u64) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.mc as usize == mc && o.active_at(cycle))
+    }
+
+    /// Graceful degradation under MC outages: the controller to actually
+    /// route to at `now`. Normally `preferred`; during an outage window the
+    /// request re-homes to the live controller nearest `origin` (so a
+    /// cluster-local MC is preferred over a remote one, exactly the
+    /// locality rule the layouts optimize for). If every controller is
+    /// dark the request stays on `preferred` and queues until the window
+    /// closes — outages never lose requests.
+    fn live_mc(&mut self, preferred: usize, origin: NodeId, now: u64) -> usize {
+        if self.outages.is_empty() || !self.mc_dark(preferred, now) {
+            return preferred;
+        }
+        let alive = (0..self.mcs.len())
+            .filter(|&m| m != preferred && !self.mc_dark(m, now))
+            .min_by_key(|&m| (self.config.mesh.hop_distance(origin, self.mc_node(m)), m));
+        match alive {
+            Some(m) => {
+                self.rehomed += 1;
+                self.obs.rehome(now, preferred as u16, m as u16);
+                m
+            }
+            None => preferred,
+        }
     }
 
     /// The controller-local DRAM address: hardware strips the MC-selection
@@ -382,10 +462,12 @@ impl Simulator {
         if let Some(evicted) = res.evicted {
             self.dir.remove_sharer(evicted, node.0 as usize);
             let ev_mc = self.mc_of_paddr(evicted * self.config.l2.line_bytes);
-            let dst = self.mc_node(ev_mc);
             if self.config.writebacks && res.evicted_dirty {
                 // Dirty line travels to memory: a data message plus a DRAM
-                // write, neither of which blocks the thread.
+                // write, neither of which blocks the thread. An outage
+                // re-homes the write; the directory slice stays put.
+                let ev_mc = self.live_mc(ev_mc, node, t2);
+                let dst = self.mc_node(ev_mc);
                 self.writebacks += 1;
                 self.obs.writeback(t2, node.0, ev_mc as u16);
                 let at = self.net.send_obs(
@@ -411,6 +493,7 @@ impl Simulator {
                     },
                 );
             } else {
+                let dst = self.mc_node(ev_mc);
                 self.net.send_obs(
                     node,
                     dst,
@@ -428,6 +511,7 @@ impl Simulator {
         } else {
             self.mc_of_paddr(paddr)
         };
+        let mc = self.live_mc(mc, node, t2);
         let mc_node = self.mc_node(mc);
         let sharers = self.dir.lookup_obs(l2_line, node.0 as usize, t2, &self.obs);
         if let Some(&owner) = sharers
@@ -535,6 +619,7 @@ impl Simulator {
             if let Some(evicted) = res.evicted {
                 self.writebacks += 1;
                 let ev_mc = self.mc_of_paddr(evicted * self.config.l2.line_bytes);
+                let ev_mc = self.live_mc(ev_mc, home, t3);
                 let dst = self.mc_node(ev_mc);
                 self.obs.writeback(t3, home.0, ev_mc as u16);
                 let at = self.net.send_obs(
@@ -583,6 +668,7 @@ impl Simulator {
         } else {
             self.mc_of_paddr(paddr)
         };
+        let mc = self.live_mc(mc, home, t3);
         let mc_node = self.mc_node(mc);
         self.offchip += 1;
         self.node_mc_requests[home.0 as usize][mc] += 1;
@@ -628,7 +714,13 @@ impl Simulator {
 
     fn schedule_completions(&mut self, done: &[Completion]) {
         for c in done {
-            self.schedule(c.finish, EventKind::MemDone { token: c.token });
+            self.schedule(
+                c.finish,
+                EventKind::MemDone {
+                    token: c.token,
+                    dropped: c.dropped,
+                },
+            );
         }
     }
 
@@ -651,17 +743,53 @@ impl Simulator {
         self.update_poll(mc);
     }
 
-    fn handle_mem_done(&mut self, workload: &TraceWorkload, token: u64, now: u64) {
+    fn handle_mem_done(&mut self, workload: &TraceWorkload, token: u64, now: u64, dropped: bool) {
         let ctx = self
             .pending
             .remove(&token)
             .expect("completion for unknown token");
         if ctx.writeback {
-            // The line is in DRAM; nothing waits on it.
+            // The line is in DRAM; nothing waits on it. A dropped
+            // writeback simply never lands.
+            if dropped {
+                self.dropped += 1;
+            }
             let _ = now;
             return;
         }
         let mc_node = self.mc_node(ctx.mc);
+        if dropped {
+            // Retry cap exhausted: the controller abandons the request and
+            // a control-sized error reply walks the normal response path,
+            // so the waiting thread still resumes. The line is NOT
+            // installed and no sharer is recorded — a later touch misses
+            // again and re-fetches.
+            self.dropped += 1;
+            let t1 = self.net.send_obs(
+                mc_node,
+                ctx.responder,
+                self.config.control_bytes,
+                TrafficClass::OffChip,
+                now,
+                ctx.req.phase(Phase::Reply),
+                &self.obs,
+            );
+            let t_end = match ctx.final_dst {
+                Some(dst) => self.net.send_obs(
+                    ctx.responder,
+                    dst,
+                    self.config.control_bytes,
+                    TrafficClass::OnChip,
+                    t1,
+                    ctx.req.phase(Phase::Reply),
+                    &self.obs,
+                ),
+                None => t1,
+            };
+            self.obs.drop_req(ctx.req, t_end);
+            self.miss_return(workload, ctx.thread, t_end);
+            return;
+        }
         let t1 = self.net.send_obs(
             mc_node,
             ctx.responder,
@@ -1029,6 +1157,217 @@ mod tests {
                 lean.counter_family(name),
                 "{name}"
             );
+        }
+    }
+
+    mod faults {
+        use super::*;
+        use hoploc_fault::{BankFault, FaultPlan, FaultRates, McBankFault, McOutage, RetryPolicy};
+
+        #[test]
+        fn empty_fault_plan_is_inert() {
+            let cfg = small_config();
+            let m = mapping(&cfg);
+            let w =
+                TraceWorkload::single("t", vec![seq_trace(0, 1024, 256), seq_trace(9, 512, 256)]);
+            let base = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved).run(&w);
+            let mut fcfg = cfg;
+            fcfg.faults = Some(FaultPlan::none());
+            let faulted = Simulator::new(fcfg, m, PagePolicy::Interleaved).run(&w);
+            assert_eq!(base, faulted, "Some(FaultPlan::none()) must equal None");
+        }
+
+        #[test]
+        fn outage_rehomes_to_nearest_live_mc() {
+            let mut cfg = small_config();
+            cfg.faults = Some(FaultPlan {
+                outages: vec![McOutage {
+                    mc: 0,
+                    from: 0,
+                    until: u64::MAX / 2,
+                }],
+                ..FaultPlan::none()
+            });
+            let m = mapping(&cfg);
+            let stats = Simulator::new(cfg, m, PagePolicy::Interleaved)
+                .run(&TraceWorkload::single("t", vec![seq_trace(0, 2048, 256)]));
+            assert!(
+                stats.rehomed_requests > 0,
+                "interleaving must hit the dark MC"
+            );
+            assert_eq!(stats.mc[0].served, 0, "dark controller must see no traffic");
+            for row in &stats.node_mc_requests {
+                assert_eq!(row[0], 0);
+            }
+            let served: u64 = stats.mc.iter().map(|m| m.served).sum();
+            assert_eq!(
+                served, stats.offchip_accesses,
+                "re-homed requests all serve"
+            );
+            assert_eq!(stats.dropped_requests, 0);
+        }
+
+        #[test]
+        fn all_dark_falls_back_to_preferred() {
+            let mut cfg = small_config();
+            cfg.faults = Some(FaultPlan {
+                outages: (0..4)
+                    .map(|mc| McOutage {
+                        mc,
+                        from: 0,
+                        until: u64::MAX / 2,
+                    })
+                    .collect(),
+                ..FaultPlan::none()
+            });
+            let m = mapping(&cfg);
+            let stats = Simulator::new(cfg, m, PagePolicy::Interleaved)
+                .run(&TraceWorkload::single("t", vec![seq_trace(0, 512, 256)]));
+            // Nowhere to go: requests stay put, nothing is lost.
+            assert_eq!(stats.rehomed_requests, 0);
+            let served: u64 = stats.mc.iter().map(|m| m.served).sum();
+            assert_eq!(served, stats.offchip_accesses);
+        }
+
+        #[test]
+        fn capped_retries_drop_but_threads_still_finish() {
+            let mut cfg = small_config();
+            let banks = cfg.mc.banks as u16;
+            cfg.faults = Some(FaultPlan {
+                seed: 11,
+                banks: (0..4u16)
+                    .flat_map(|mc| {
+                        (0..banks).map(move |bank| McBankFault {
+                            mc,
+                            fault: BankFault {
+                                bank,
+                                from: 0,
+                                until: u64::MAX / 2,
+                                stall_cycles: 0,
+                                error_period: 1,
+                            },
+                        })
+                    })
+                    .collect(),
+                retry: RetryPolicy {
+                    base_backoff: 4,
+                    max_backoff: 16,
+                    max_retries: 2,
+                },
+                ..FaultPlan::none()
+            });
+            let m = mapping(&cfg);
+            let stats = Simulator::new(cfg, m, PagePolicy::Interleaved)
+                .run(&TraceWorkload::single("t", vec![seq_trace(0, 512, 256)]));
+            // Every off-chip request fails all attempts, yet the run ends
+            // with every access consumed: error replies resume threads.
+            assert_eq!(stats.total_accesses, 512);
+            assert!(stats.dropped_requests > 0);
+            assert_eq!(stats.dropped_requests, stats.offchip_accesses);
+            let dropped: u64 = stats.mc.iter().map(|m| m.dropped).sum();
+            assert_eq!(dropped, stats.dropped_requests);
+            let served: u64 = stats.mc.iter().map(|m| m.served).sum();
+            assert_eq!(served, 0);
+            assert_eq!(
+                stats.backstop_flushes, 0,
+                "drops must not rely on the backstop"
+            );
+        }
+
+        #[test]
+        fn traced_faulted_run_matches_untraced() {
+            let topo = hoploc_fault::FaultTopo {
+                links: 16 * 4,
+                mcs: 4,
+                banks_per_mc: 8,
+            };
+            let mut cfg = small_config();
+            cfg.faults = Some(FaultPlan::from_seed(
+                3,
+                &topo,
+                &FaultRates::moderate().with_horizon(1 << 16),
+            ));
+            let m = mapping(&cfg);
+            let w = TraceWorkload::single("t", vec![seq_trace(0, 1024, 256)]);
+            let base = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved).run(&w);
+            let (stats, rep) = Simulator::new(cfg, m, PagePolicy::Interleaved)
+                .with_obs(hoploc_obs::ObsConfig::default())
+                .run_traced(&w);
+            assert_eq!(stats, base, "recording must not perturb faulted timing");
+            let retries: u64 = stats.mc.iter().map(|m| m.retries).sum();
+            assert_eq!(
+                rep.counter_family("fault.mc.retries").iter().sum::<u64>(),
+                retries
+            );
+            let dropped: u64 = stats.mc.iter().map(|m| m.dropped).sum();
+            assert_eq!(
+                rep.counter_family("fault.mc.dropped").iter().sum::<u64>(),
+                dropped
+            );
+            assert_eq!(
+                rep.counter_family("fault.rehomed").iter().sum::<u64>(),
+                stats.rehomed_requests
+            );
+            assert_eq!(rep.counter("fault.link.hops"), stats.net.fault_hops);
+        }
+
+        #[test]
+        fn rehoming_leaves_page_placement_untouched() {
+            // Outages are routing-time only: the OS page allocator must
+            // behave identically with and without the plan installed.
+            let mut cfg = small_config();
+            cfg.granularity = Granularity::Page;
+            let m = mapping(&cfg);
+            let w = TraceWorkload::single("t", vec![seq_trace(0, 192, 4096)]);
+            let base = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved).run(&w);
+            cfg.faults = Some(FaultPlan {
+                outages: vec![McOutage {
+                    mc: 1,
+                    from: 0,
+                    until: u64::MAX / 2,
+                }],
+                ..FaultPlan::none()
+            });
+            let faulted = Simulator::new(cfg, m, PagePolicy::Interleaved).run(&w);
+            assert_eq!(faulted.os_fallbacks, base.os_fallbacks);
+            assert_eq!(faulted.total_accesses, base.total_accesses);
+            assert!(faulted.rehomed_requests > 0);
+            assert_eq!(faulted.mc[1].served, 0);
+        }
+
+        #[test]
+        fn backstop_flush_is_loud_and_counted() {
+            let cfg = small_config();
+            let m = mapping(&cfg);
+            let mut sim = Simulator::new(cfg, m, PagePolicy::Interleaved);
+            // Manufacture the scheduling hole the backstop guards against:
+            // a request queued behind a busy bank with no McPoll scheduled
+            // for it (the `update_poll` call is deliberately skipped).
+            let park = |sim: &mut Simulator, token: u64| {
+                sim.next_token = token + 1;
+                sim.pending.insert(
+                    token,
+                    PendingMem {
+                        thread: usize::MAX,
+                        responder: NodeId(0),
+                        final_dst: None,
+                        mc: 0,
+                        l2_line: 0,
+                        writeback: true,
+                        req: ReqTag::NONE,
+                    },
+                );
+            };
+            park(&mut sim, 0);
+            park(&mut sim, 1);
+            let first = sim.mcs[0].enqueue_obs(0, 0, 10, 0, &sim.obs);
+            assert_eq!(first.len(), 1, "idle bank finalizes the first arrival");
+            let second = sim.mcs[0].enqueue_obs(0, 1, 10, 0, &sim.obs);
+            assert!(second.is_empty(), "busy bank must park the second arrival");
+            sim.schedule_completions(&first);
+            let stats = sim.run_core(&TraceWorkload::single("t", vec![]));
+            assert_eq!(stats.backstop_flushes, 1);
+            assert!(sim.pending.is_empty());
         }
     }
 }

@@ -224,4 +224,72 @@ mod tests {
         os.translate(0, NodeId(0), &m);
         os.translate(4096, NodeId(0), &m);
     }
+
+    #[test]
+    fn fallback_walk_wraps_across_all_pools() {
+        // 1 frame per MC, every page desires MC2: the walk must visit
+        // MC2 → MC3 → MC0 → MC1 in order before giving up.
+        let mut map = HashMap::new();
+        for vpn in 0..4u64 {
+            map.insert(vpn, McId(2));
+        }
+        let mut os = Os::new(4096, 4 * 4096, 4, PagePolicy::Desired(map));
+        let m = mapping();
+        let owners: Vec<u16> = (0..4u64)
+            .map(|p| {
+                let paddr = os.translate(p * 4096, NodeId(0), &m);
+                os.mc_of_paddr(paddr).0
+            })
+            .collect();
+        assert_eq!(owners, vec![2, 3, 0, 1]);
+        assert_eq!(os.fallback_allocations, 3);
+        assert_eq!(os.resident_pages(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "physical memory exhausted")]
+    fn fallback_walk_exhaustion_still_panics() {
+        let mut map = HashMap::new();
+        for vpn in 0..5u64 {
+            map.insert(vpn, McId(2));
+        }
+        let mut os = Os::new(4096, 4 * 4096, 4, PagePolicy::Desired(map));
+        let m = mapping();
+        for p in 0..5u64 {
+            os.translate(p * 4096, NodeId(0), &m);
+        }
+    }
+
+    #[test]
+    fn first_touch_shared_page_is_stable() {
+        // The first toucher's cluster owns the page; a later toucher from
+        // the opposite corner must neither move it nor re-allocate it.
+        let mut os = Os::new(4096, 1 << 20, 4, PagePolicy::FirstTouch);
+        let m = mapping();
+        let first = os.translate(100, NodeId(0), &m);
+        let again = os.translate(100, NodeId(63), &m);
+        assert_eq!(first, again, "shared page must not move on second touch");
+        assert_eq!(os.resident_pages(), 1);
+        assert_eq!(
+            os.mc_of_paddr(first),
+            m.cluster_mcs(m.cluster_of(NodeId(0)))[0],
+            "ownership follows the FIRST toucher"
+        );
+    }
+
+    #[test]
+    fn first_touch_falls_back_when_cluster_pool_is_full() {
+        // 1 frame per MC: node 0's second page cannot stay in its cluster.
+        let mut os = Os::new(4096, 4 * 4096, 4, PagePolicy::FirstTouch);
+        let m = mapping();
+        let home = m.cluster_mcs(m.cluster_of(NodeId(0)))[0];
+        let p0 = os.translate(0, NodeId(0), &m);
+        assert_eq!(os.mc_of_paddr(p0), home);
+        let p1 = os.translate(4096, NodeId(0), &m);
+        assert_ne!(os.mc_of_paddr(p1), home, "full pool must spill elsewhere");
+        assert_eq!(os.fallback_allocations, 1);
+        // Both translations stay stable afterwards.
+        assert_eq!(os.translate(0, NodeId(63), &m), p0);
+        assert_eq!(os.translate(4096, NodeId(63), &m), p1);
+    }
 }

@@ -40,6 +40,15 @@ pub struct RunStats {
     pub os_fallbacks: u64,
     /// Per-directed-link utilization over the run (`node*4 + dir`).
     pub link_utilization: Vec<f64>,
+    /// Off-chip requests (and writebacks) re-routed away from a dark
+    /// controller to the nearest live one during an MC outage window.
+    pub rehomed_requests: u64,
+    /// Requests abandoned after exhausting the transient-error retry cap;
+    /// the waiting thread resumes on an error reply.
+    pub dropped_requests: u64,
+    /// Times the event loop's liveness backstop force-flushed the
+    /// controllers (0 in a healthy run — see diagnostic HL0900).
+    pub backstop_flushes: u64,
 }
 
 impl RunStats {
@@ -194,6 +203,9 @@ mod tests {
             app_finish: Vec::new(),
             os_fallbacks: 0,
             link_utilization: Vec::new(),
+            rehomed_requests: 0,
+            dropped_requests: 0,
+            backstop_flushes: 0,
         }
     }
 

@@ -11,6 +11,11 @@
 //!                                  (Perfetto-loadable), a metrics snapshot,
 //!                                  and a per-link heatmap per configuration
 //! hoploc trace-validate <file...>  schema-check Chrome-trace JSON files
+//! hoploc faults <app> [options]    simulate under a deterministic fault
+//!                                  plan (link latency windows, DRAM bank
+//!                                  stalls/transient errors with bounded
+//!                                  retry, whole-MC outages with
+//!                                  re-homing) and report the degradation
 //!
 //! `check` proves every layout recipe injective and in-bounds, re-derives
 //! the dependence verdicts behind each nest's parallel dimension, and
@@ -39,14 +44,21 @@
 //!   --epoch <cycles>               (trace) windowed-series epoch width
 //!   --span-cap <n>                 (trace) record spans for the first n
 //!                                  requests only (0 = unlimited)
+//!   --plan <seed|file>             (faults) a u64 seed for generated
+//!                                  moderate-intensity faults, or a path
+//!                                  to a fault-plan text file (default
+//!                                  seed 0); same plan, same run, same
+//!                                  bytes — always
 //! ```
 
 use hoploc::affine::parallelization_is_legal;
 use hoploc::check::{
     check_layout, check_program, count, render_json, render_text, should_fail, CheckConfig,
 };
+use hoploc::fault::{FaultPlan, FaultRates};
 use hoploc::harness::{
-    default_jobs, kind_name, parallel_map, render_table, to_json, RunSpec, Suite,
+    default_jobs, fault_topo, kind_name, parallel_map, render_table, to_json, RunRecord, RunSpec,
+    Suite,
 };
 use hoploc::layout::{
     codegen, determine_data_to_core, optimize_program, Granularity, L2Mode, PassConfig,
@@ -72,6 +84,7 @@ struct Options {
     out: String,
     epoch: u64,
     span_cap: u64,
+    plan: Option<String>,
 }
 
 impl Options {
@@ -91,6 +104,7 @@ impl Options {
             out: "traces".to_string(),
             epoch: ObsConfig::default().epoch_cycles,
             span_cap: 0,
+            plan: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -131,6 +145,10 @@ impl Options {
                 "--span-cap" => {
                     let v = it.next().ok_or("--span-cap needs a request count")?;
                     o.span_cap = v.parse().map_err(|_| format!("bad span cap {v}"))?;
+                }
+                "--plan" => {
+                    let v = it.next().ok_or("--plan needs a seed or a file path")?;
+                    o.plan = Some(v.clone());
                 }
                 "--deny" => match it.next().map(String::as_str) {
                     Some("warnings") => o.deny_warnings = true,
@@ -531,6 +549,105 @@ fn cmd_trace(app: App, o: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Resolves `--plan` into a fault plan: a bare u64 seeds moderate-intensity
+/// generation with windows placed across `horizon` cycles (so faults land
+/// inside the run, whatever its length); anything else is read as a plan
+/// text file and used verbatim.
+fn resolve_plan(
+    o: &Options,
+    topo: &hoploc::fault::FaultTopo,
+    horizon: u64,
+) -> Result<(FaultPlan, String), String> {
+    let rates = FaultRates::moderate().with_horizon(horizon);
+    let (plan, origin) = match o.plan.as_deref() {
+        None => (
+            FaultPlan::from_seed(0, topo, &rates),
+            "seed 0, moderate".to_string(),
+        ),
+        Some(s) => match s.parse::<u64>() {
+            Ok(seed) => (
+                FaultPlan::from_seed(seed, topo, &rates),
+                format!("seed {seed}, moderate"),
+            ),
+            Err(_) => {
+                let text = std::fs::read_to_string(s).map_err(|e| format!("reading {s}: {e}"))?;
+                (
+                    FaultPlan::parse(&text).map_err(|e| format!("{s}: {e}"))?,
+                    format!("plan file {s}"),
+                )
+            }
+        },
+    };
+    plan.validate(topo)
+        .map_err(|e| format!("plan does not fit this machine: {e}"))?;
+    Ok((plan, origin))
+}
+
+fn cmd_faults(app: App, o: &Options) -> ExitCode {
+    let name = app.name().to_string();
+    let suite = o.suite(vec![app]);
+    let topo = fault_topo(suite.sim());
+    let kinds = [o.baseline_kind(), o.optimized_kind()];
+    // Clean runs first: they are half the comparison, and their length
+    // anchors the seeded plan's placement horizon deterministically.
+    let clean: Vec<_> = kinds
+        .iter()
+        .map(|&kind| suite.run_one(RunSpec { app: 0, kind }))
+        .collect();
+    let horizon = clean.iter().map(|s| s.exec_cycles).max().unwrap_or(0);
+    let (plan, origin) = match resolve_plan(o, &topo, horizon) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("== {name} : fault injection ({origin}) ==");
+    println!(
+        "plan: {} link window(s), {} bank window(s), {} MC outage(s); \
+         retry base={} max={} cap={}",
+        plan.links.len(),
+        plan.banks.len(),
+        plan.outages.len(),
+        plan.retry.base_backoff,
+        plan.retry.max_backoff,
+        plan.retry.max_retries
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} {:>8} {:>7} {:>9} {:>9}",
+        "kind", "clean cyc", "faulted cyc", "inflation", "retries", "drops", "re-homed", "backstop"
+    );
+    let mut records = Vec::new();
+    for (kind, clean) in kinds.into_iter().zip(clean) {
+        let spec = RunSpec { app: 0, kind };
+        let faulted = suite.run_one_faulted(spec, &plan);
+        let retries: u64 = faulted.mc.iter().map(|m| m.retries).sum();
+        println!(
+            "{:<12} {:>12} {:>12} {:>8.2}% {:>8} {:>7} {:>9} {:>9}",
+            kind_name(kind),
+            clean.exec_cycles,
+            faulted.exec_cycles,
+            (faulted.exec_cycles as f64 / clean.exec_cycles.max(1) as f64 - 1.0) * 100.0,
+            retries,
+            faulted.dropped_requests,
+            faulted.rehomed_requests,
+            faulted.backstop_flushes
+        );
+        records.push(RunRecord {
+            app: name.clone(),
+            kind,
+            stats: faulted,
+        });
+    }
+    if let Some(target) = &o.json {
+        if let Err(e) = emit_json(target, &to_json(&records, None)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_trace_validate(files: &[String]) -> ExitCode {
     if files.is_empty() {
         eprintln!("usage: hoploc trace-validate <trace.json...>");
@@ -606,7 +723,7 @@ fn main() -> ExitCode {
     let usage = || {
         eprintln!(
             "usage: hoploc <apps|compile <app>|check <app|all>|run <app>|links <app>|sweep\
-             |trace <app>|trace-validate <file...>> [options]"
+             |trace <app>|trace-validate <file...>|faults <app>> [options]"
         );
         eprintln!("see the module docs (or README.md) for the option list");
         ExitCode::FAILURE
@@ -618,7 +735,7 @@ fn main() -> ExitCode {
         return cmd_trace_validate(&args[1..]);
     }
     let rest_start = match cmd.as_str() {
-        "compile" | "run" | "links" | "check" | "trace" => 2,
+        "compile" | "run" | "links" | "check" | "trace" | "faults" => 2,
         _ => 1,
     };
     let opts = match Options::parse(&args[rest_start.min(args.len())..]) {
@@ -630,7 +747,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "apps" => cmd_apps(opts.scale),
-        "compile" | "run" | "links" | "trace" => {
+        "compile" | "run" | "links" | "trace" | "faults" => {
             let Some(name) = args.get(1) else {
                 return usage();
             };
@@ -642,6 +759,7 @@ fn main() -> ExitCode {
                 "compile" => cmd_compile(&app, &opts),
                 "links" => cmd_links(app, &opts),
                 "trace" => return cmd_trace(app, &opts),
+                "faults" => return cmd_faults(app, &opts),
                 _ => cmd_run(app, &opts),
             }
         }

@@ -18,6 +18,10 @@
 //!   translation, statistics);
 //! * [`workloads`] — the paper's 13 SPEC-OMP/Mantevo applications modelled
 //!   as parameterized affine programs;
+//! * [`fault`] — seeded, deterministic fault plans (link latency windows,
+//!   DRAM bank stalls/transient errors with bounded retry, whole-MC
+//!   outages with nearest-live-MC re-homing) for the `hoploc faults`
+//!   chaos/resilience tooling;
 //! * [`obs`] — deterministic, sim-cycle-timestamped observability:
 //!   request-lifecycle spans, a metric registry (counters, gauges,
 //!   histograms, windowed series), and Chrome-trace / JSON / TSV
@@ -37,6 +41,7 @@
 pub use hoploc_affine as affine;
 pub use hoploc_cache as cache;
 pub use hoploc_check as check;
+pub use hoploc_fault as fault;
 pub use hoploc_harness as harness;
 pub use hoploc_layout as layout;
 pub use hoploc_mem as mem;
