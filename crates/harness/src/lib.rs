@@ -94,28 +94,57 @@ impl LayoutClass {
     }
 }
 
+/// One slot of a [`Memo`]: the compute-once cell plus the logical access
+/// time used by the eviction policy.
+struct MemoEntry<V> {
+    cell: Arc<OnceLock<Arc<V>>>,
+    last_used: u64,
+}
+
 /// A compute-once memo table. Concurrent lookups of the same key block on
 /// one computation (via `OnceLock`), so every artifact is built exactly
 /// once per suite regardless of the thread schedule.
+///
+/// With a capacity (`cap = Some(n)`), the table holds at most `n`
+/// *completed* entries: inserting past the cap evicts the
+/// least-recently-used initialized entry. In-flight cells (still being
+/// built) are never evicted, so the table can transiently exceed the cap
+/// while builds race; outstanding `Arc<V>` handles keep evicted artifacts
+/// alive until their users drop them. Because every artifact is a pure
+/// function of its key, an evict-then-rebuild returns a bit-identical
+/// value — eviction trades recompute time for bounded residency, which is
+/// what a long-lived server process needs.
 struct Memo<K, V> {
-    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    map: Mutex<HashMap<K, MemoEntry<V>>>,
+    tick: AtomicU64,
+    cap: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V> Memo<K, V> {
-    fn new() -> Self {
+    fn new(cap: Option<usize>) -> Self {
         Self {
             map: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     fn get_or(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let cell = {
             let mut map = self.map.lock().expect("memo poisoned");
-            map.entry(key).or_default().clone()
+            let entry = map.entry(key.clone()).or_insert_with(|| MemoEntry {
+                cell: Arc::new(OnceLock::new()),
+                last_used: now,
+            });
+            entry.last_used = now;
+            entry.cell.clone()
         };
         if cell.get().is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -124,7 +153,38 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
             // initialize: this thread had to wait for the build either way.
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
-        cell.get_or_init(|| Arc::new(build())).clone()
+        let value = cell.get_or_init(|| Arc::new(build())).clone();
+        if let Some(cap) = self.cap {
+            self.evict_to(cap, &key);
+        }
+        value
+    }
+
+    /// Evicts least-recently-used *initialized* entries until at most `cap`
+    /// remain, never removing `keep` (the key the caller just touched).
+    fn evict_to(&self, cap: usize, keep: &K) {
+        let mut map = self.map.lock().expect("memo poisoned");
+        while map.len() > cap.max(1) {
+            let victim = map
+                .iter()
+                .filter(|(k, e)| *k != keep && e.cell.get().is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Everything else is still in flight: allow the transient
+                // overflow rather than tearing down a racing build.
+                None => break,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.lock().expect("memo poisoned").len()
     }
 }
 
@@ -143,10 +203,14 @@ pub struct CacheCounters {
     pub layout_hits: u64,
     /// Layout-plan cache misses (compiles performed).
     pub layout_misses: u64,
+    /// Layout-plan entries evicted by the capacity bound.
+    pub layout_evictions: u64,
     /// Trace cache hits.
     pub trace_hits: u64,
     /// Trace cache misses (generations performed).
     pub trace_misses: u64,
+    /// Trace entries evicted by the capacity bound.
+    pub trace_evictions: u64,
 }
 
 /// A fixed (apps, mapping, config, threads-per-core) context whose run
@@ -166,14 +230,17 @@ pub struct Suite {
 
 impl Suite {
     /// Creates a suite over `apps` under one mapping and simulator config.
+    /// The layout/trace caches are unbounded — right for one-shot sweeps
+    /// where the whole matrix is live at once; resident processes should
+    /// bound them with [`with_cache_caps`](Self::with_cache_caps).
     pub fn new(apps: Vec<App>, mapping: L2ToMcMapping, sim: SimConfig) -> Self {
         Self {
             apps,
             mapping,
             sim,
             threads_per_core: 1,
-            layouts: Memo::new(),
-            traces: Memo::new(),
+            layouts: Memo::new(None),
+            traces: Memo::new(None),
         }
     }
 
@@ -182,6 +249,19 @@ impl Suite {
     pub fn with_threads_per_core(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread per core");
         self.threads_per_core = threads;
+        self
+    }
+
+    /// Bounds the layout and trace caches to at most `layout_cap` /
+    /// `trace_cap` completed entries each (least-recently-used eviction;
+    /// `0` means unbounded). Builder-style: call before the first run. The
+    /// caps never change results — every cached artifact is a pure
+    /// function of its key, so a rebuild after eviction is bit-identical —
+    /// they only bound the memory a long-lived process can pin.
+    pub fn with_cache_caps(mut self, layout_cap: usize, trace_cap: usize) -> Self {
+        let cap = |n: usize| if n == 0 { None } else { Some(n) };
+        self.layouts = Memo::new(cap(layout_cap));
+        self.traces = Memo::new(cap(trace_cap));
         self
     }
 
@@ -392,8 +472,10 @@ impl Suite {
         CacheCounters {
             layout_hits: self.layouts.hits.load(Ordering::Relaxed),
             layout_misses: self.layouts.misses.load(Ordering::Relaxed),
+            layout_evictions: self.layouts.evictions.load(Ordering::Relaxed),
             trace_hits: self.traces.hits.load(Ordering::Relaxed),
             trace_misses: self.traces.misses.load(Ordering::Relaxed),
+            trace_evictions: self.traces.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -489,6 +571,44 @@ pub fn render_table(records: &[RunRecord]) -> String {
     out
 }
 
+/// Serializes one run record as a single-line JSON object — the canonical
+/// machine-readable form of a run. This is the *unit* every consumer
+/// agrees on byte-for-byte: [`to_json`] embeds it per run, and the
+/// `hoploc-serve` job server replies with exactly these bytes, so a served
+/// result can be compared literally against a direct `run_matrix` run.
+pub fn record_json(r: &RunRecord) -> String {
+    let s = &r.stats;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"app\": {}, \"kind\": \"{}\", \"exec_cycles\": {}, \
+         \"total_accesses\": {}, \"l1_hits\": {}, \"l2_hits\": {}, \
+         \"cache_to_cache\": {}, \"offchip_accesses\": {}, \
+         \"offchip_fraction\": {:.6}, \"avg_offchip_hops\": {:.6}, \
+         \"onchip_net_latency\": {:.6}, \"offchip_net_latency\": {:.6}, \
+         \"memory_latency\": {:.6}, \"os_fallbacks\": {}, \
+         \"rehomed\": {}, \"dropped\": {}, \"backstop_flushes\": {}}}",
+        json_string(&r.app),
+        kind_name(r.kind),
+        s.exec_cycles,
+        s.total_accesses,
+        s.l1_hits,
+        s.l2_hits,
+        s.cache_to_cache,
+        s.offchip_accesses,
+        s.offchip_fraction(),
+        s.net.off_chip.avg_hops(),
+        s.onchip_net_latency(),
+        s.offchip_net_latency(),
+        s.memory_latency(),
+        s.os_fallbacks,
+        s.rehomed_requests,
+        s.dropped_requests,
+        s.backstop_flushes,
+    );
+    out
+}
+
 /// Serializes run records (plus optional cache counters) as a JSON
 /// document — the machine-readable summary `BENCH_*.json` trajectories
 /// are built from. Hand-rolled: the workspace has no serde and builds
@@ -496,34 +616,8 @@ pub fn render_table(records: &[RunRecord]) -> String {
 pub fn to_json(records: &[RunRecord], counters: Option<CacheCounters>) -> String {
     let mut out = String::from("{\n  \"runs\": [\n");
     for (i, r) in records.iter().enumerate() {
-        let s = &r.stats;
-        let _ = write!(
-            out,
-            "    {{\"app\": {}, \"kind\": \"{}\", \"exec_cycles\": {}, \
-             \"total_accesses\": {}, \"l1_hits\": {}, \"l2_hits\": {}, \
-             \"cache_to_cache\": {}, \"offchip_accesses\": {}, \
-             \"offchip_fraction\": {:.6}, \"avg_offchip_hops\": {:.6}, \
-             \"onchip_net_latency\": {:.6}, \"offchip_net_latency\": {:.6}, \
-             \"memory_latency\": {:.6}, \"os_fallbacks\": {}, \
-             \"rehomed\": {}, \"dropped\": {}, \"backstop_flushes\": {}}}",
-            json_string(&r.app),
-            kind_name(r.kind),
-            s.exec_cycles,
-            s.total_accesses,
-            s.l1_hits,
-            s.l2_hits,
-            s.cache_to_cache,
-            s.offchip_accesses,
-            s.offchip_fraction(),
-            s.net.off_chip.avg_hops(),
-            s.onchip_net_latency(),
-            s.offchip_net_latency(),
-            s.memory_latency(),
-            s.os_fallbacks,
-            s.rehomed_requests,
-            s.dropped_requests,
-            s.backstop_flushes,
-        );
+        out.push_str("    ");
+        out.push_str(&record_json(r));
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]");
@@ -531,8 +625,14 @@ pub fn to_json(records: &[RunRecord], counters: Option<CacheCounters>) -> String
         let _ = write!(
             out,
             ",\n  \"cache\": {{\"layout_hits\": {}, \"layout_misses\": {}, \
-             \"trace_hits\": {}, \"trace_misses\": {}}}",
-            c.layout_hits, c.layout_misses, c.trace_hits, c.trace_misses
+             \"layout_evictions\": {}, \"trace_hits\": {}, \"trace_misses\": {}, \
+             \"trace_evictions\": {}}}",
+            c.layout_hits,
+            c.layout_misses,
+            c.layout_evictions,
+            c.trace_hits,
+            c.trace_misses,
+            c.trace_evictions
         );
     }
     out.push_str("\n}\n");
@@ -691,6 +791,69 @@ mod tests {
         let par = s.run_fault_sweep(spec, &plans, 4);
         let seq = s.run_fault_sweep(spec, &plans, 1);
         assert_eq!(par, seq, "fault sweep diverged across job counts");
+    }
+
+    #[test]
+    fn bounded_memo_evicts_lru_and_rebuilds_identically() {
+        let memo: Memo<u32, u32> = Memo::new(Some(2));
+        assert_eq!(*memo.get_or(1, || 10), 10);
+        assert_eq!(*memo.get_or(2, || 20), 20);
+        assert_eq!(*memo.get_or(1, || 10), 10); // refresh key 1
+        assert_eq!(*memo.get_or(3, || 30), 30); // evicts key 2 (LRU)
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.evictions.load(Ordering::Relaxed), 1);
+        // Key 2 was evicted: rebuilding is a miss but yields the same value.
+        assert_eq!(*memo.get_or(2, || 20), 20);
+        assert_eq!(memo.evictions.load(Ordering::Relaxed), 2);
+        assert_eq!(memo.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(memo.misses.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn bounded_memo_is_safe_under_contention() {
+        let memo: Memo<u64, u64> = Memo::new(Some(3));
+        let keys: Vec<u64> = (0..64).map(|i| i % 9).collect();
+        let out = parallel_map(&keys, 8, |&k| *memo.get_or(k, || k * k));
+        for (k, v) in keys.iter().zip(out) {
+            assert_eq!(v, k * k);
+        }
+        assert!(memo.len() <= 3 + 8, "cap plus in-flight slack exceeded");
+    }
+
+    #[test]
+    fn bounded_suite_caches_match_unbounded_results() {
+        let kinds = [RunKind::Baseline, RunKind::Optimized, RunKind::Optimal];
+        let unbounded = suite2();
+        let plain = unbounded.run_full(&kinds, 2);
+        let sim = SimConfig::scaled();
+        let mapping = L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &sim.placement);
+        let bounded = Suite::new(vec![swim(Scale::Test), mgrid(Scale::Test)], mapping, sim)
+            .with_cache_caps(1, 1);
+        let tight = bounded.run_full(&kinds, 2);
+        for (a, b) in plain.iter().zip(&tight) {
+            assert_eq!(a.stats, b.stats, "eviction changed a result");
+        }
+        let c = bounded.cache_counters();
+        assert!(
+            c.layout_evictions > 0 && c.trace_evictions > 0,
+            "cap 1 across 2 apps x 2 layout classes must evict: {c:?}"
+        );
+    }
+
+    #[test]
+    fn record_json_is_the_unit_of_to_json() {
+        let s = suite2();
+        let recs = s.run_matrix(
+            &[RunSpec {
+                app: 0,
+                kind: RunKind::Baseline,
+            }],
+            1,
+        );
+        let unit = record_json(&recs[0]);
+        assert!(unit.starts_with('{') && unit.ends_with('}'));
+        assert!(!unit.contains('\n'), "record_json must be single-line");
+        assert!(to_json(&recs, None).contains(&unit));
     }
 
     #[test]

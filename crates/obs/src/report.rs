@@ -182,64 +182,9 @@ impl ObsReport {
             self.events.len(),
             self.dropped_spans,
         );
-        s.push_str("},\n\"counters\": {");
-        for (i, f) in self.reg.counters.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            let _ = write!(s, "\n\"{}\": {}", f.name, u64_array(&f.vals));
-        }
-        s.push_str("},\n\"gauges\": {");
-        for (i, f) in self.reg.gauges.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            let _ = write!(s, "\n\"{}\": {}", f.name, i64_array(&f.vals));
-        }
-        s.push_str("},\n\"histograms\": {");
-        for (i, (name, h)) in self.reg.hists.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            let _ = write!(
-                s,
-                "\n\"{name}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
-                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
-                h.count(),
-                h.min(),
-                h.max(),
-                fmt_f64(h.mean()),
-                h.quantile(0.50),
-                h.quantile(0.95),
-                h.quantile(0.99),
-            );
-            for (j, (lo, hi, c)) in h.nonzero_buckets().enumerate() {
-                if j > 0 {
-                    s.push(',');
-                }
-                let _ = write!(s, "[{lo}, {hi}, {c}]");
-            }
-            s.push_str("]}");
-        }
-        s.push_str("},\n\"series\": {");
-        for (i, ser) in self.reg.series.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            let mode = match ser.mode {
-                WindowMode::Add => "add",
-                WindowMode::Max => "max",
-            };
-            let _ = write!(
-                s,
-                "\n\"{}\": {{\"epoch_cycles\": {}, \"mode\": \"{}\", \"values\": {}}}",
-                ser.name,
-                ser.epoch_cycles,
-                mode,
-                u64_array(&ser.vals),
-            );
-        }
-        s.push_str("}\n}\n");
+        s.push_str("},\n");
+        s.push_str(&registry_sections_json(&self.reg));
+        s.push_str("\n}\n");
         s
     }
 
@@ -270,6 +215,87 @@ impl ObsReport {
     /// Chrome trace-event JSON (see [`crate::chrome`]).
     pub fn chrome_trace_json(&self) -> String {
         crate::chrome::chrome_trace_json(self)
+    }
+}
+
+/// The `"counters"/"gauges"/"histograms"/"series"` sections of a metrics
+/// snapshot, in registration order — shared between [`ObsReport::metrics_json`]
+/// (which prepends run metadata) and [`Registry::snapshot_json`] (standalone
+/// registries, e.g. the `hoploc-serve` server metrics).
+pub(crate) fn registry_sections_json(reg: &Registry) -> String {
+    let mut s = String::from("\"counters\": {");
+    for (i, f) in reg.counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n\"{}\": {}", f.name, u64_array(&f.vals));
+    }
+    s.push_str("},\n\"gauges\": {");
+    for (i, f) in reg.gauges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n\"{}\": {}", f.name, i64_array(&f.vals));
+    }
+    s.push_str("},\n\"histograms\": {");
+    for (i, (name, h)) in reg.hists.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n\"{name}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+            h.count(),
+            h.min(),
+            h.max(),
+            fmt_f64(h.mean()),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        );
+        for (j, (lo, hi, c)) in h.nonzero_buckets().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{lo}, {hi}, {c}]");
+        }
+        s.push_str("]}");
+    }
+    s.push_str("},\n\"series\": {");
+    for (i, ser) in reg.series.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let mode = match ser.mode {
+            WindowMode::Add => "add",
+            WindowMode::Max => "max",
+        };
+        let _ = write!(
+            s,
+            "\n\"{}\": {{\"epoch_cycles\": {}, \"mode\": \"{}\", \"values\": {}}}",
+            ser.name,
+            ser.epoch_cycles,
+            mode,
+            u64_array(&ser.vals),
+        );
+    }
+    s.push('}');
+    s
+}
+
+impl Registry {
+    /// Stable JSON snapshot of a standalone registry: counters, gauges,
+    /// histograms (with exact-bucket p50/p95/p99), and windowed series, in
+    /// registration order — the same section format as
+    /// [`ObsReport::metrics_json`], without the per-run metadata. Used for
+    /// registries that outlive any single simulation, such as the
+    /// `hoploc-serve` server metrics.
+    pub fn snapshot_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&registry_sections_json(self));
+        s.push_str("\n}\n");
+        s
     }
 }
 
@@ -380,6 +406,38 @@ mod tests {
         assert_eq!(rep.bank_queue_occupancy(), 0.0);
         assert_eq!(rep.mc_request_shares(0), vec![0.0; 4]);
         assert_eq!(rep.offchip(), 0);
+    }
+
+    #[test]
+    fn standalone_registry_snapshot_is_valid_json() {
+        let mut r = Registry::new();
+        let c = r.counter("serve.submitted", 1);
+        let g = r.gauge("serve.queue_depth", 1);
+        let h = r.hist("serve.job_wall_ms");
+        r.inc(c, 0, 3);
+        r.set_gauge(g, 0, 2);
+        r.observe(h, 40);
+        let snap = r.snapshot_json();
+        let v = parse(&snap).expect("snapshot must be valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("serve.submitted"))
+                .and_then(|c| c.index(0))
+                .and_then(|x| x.as_u64()),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("histograms")
+                .and_then(|h| h.get("serve.job_wall_ms"))
+                .and_then(|h| h.get("count"))
+                .and_then(|x| x.as_u64()),
+            Some(1)
+        );
+        // The sections must serialize exactly as in a full report snapshot.
+        let rep = small_report();
+        assert!(rep
+            .metrics_json()
+            .contains(&registry_sections_json(rep.registry())));
     }
 
     #[test]

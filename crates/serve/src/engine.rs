@@ -1,0 +1,262 @@
+//! The execution engine: how the server turns an accepted [`JobSpec`]
+//! into result bytes.
+//!
+//! [`SuiteEngine`] is the real one. It owns a bounded pool of
+//! [`hoploc_harness::Suite`]s keyed by [`JobSpec::config_canon`], so every
+//! job under the same simulator configuration shares one suite — and with
+//! it the memoized (and capacity-bounded) layout and trace caches. Results
+//! are the raw [`hoploc_harness::record_json`] bytes of the run, which is
+//! exactly what `hoploc sweep --json` embeds per record: a served result
+//! is byte-identical to a direct run by construction.
+//!
+//! The trait exists so tests can substitute slow or failing engines to
+//! exercise backpressure and timeout paths without real simulations.
+
+use crate::job::{FaultSpec, JobSpec};
+use hoploc_fault::{FaultPlan, FaultRates};
+use hoploc_harness::{fault_topo, record_json, RunRecord, RunSpec, Suite};
+use hoploc_noc::{L2ToMcMapping, McPlacement};
+use hoploc_sim::SimConfig;
+use hoploc_workloads::all_apps;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Executes jobs. Implementations must be safe to call from many worker
+/// threads at once.
+pub trait Engine: Send + Sync {
+    /// Cheap admission-time validation: reject jobs that could never run
+    /// (unknown app, ill-fitting fault plan) before they cost a queue slot.
+    fn validate(&self, spec: &JobSpec) -> Result<(), String>;
+
+    /// Runs the job to completion, returning the raw single-line JSON run
+    /// record, or a structured error message.
+    fn run(&self, spec: &JobSpec) -> Result<String, String>;
+}
+
+/// How many completed artifacts each per-configuration suite may keep
+/// resident, and how many distinct configurations the engine itself keeps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EngineCaps {
+    /// Layout-cache capacity per suite (0 = unbounded).
+    pub layout_cap: usize,
+    /// Trace-cache capacity per suite (0 = unbounded). Traces dominate
+    /// memory, so this is the knob that bounds a long-lived server.
+    pub trace_cap: usize,
+    /// Distinct simulator configurations (suites) kept alive at once.
+    pub suite_cap: usize,
+}
+
+impl Default for EngineCaps {
+    fn default() -> Self {
+        // Two layout classes per app and a handful of hot traces cover
+        // steady-state serving; everything else rebuilds bit-identically.
+        EngineCaps {
+            layout_cap: 32,
+            trace_cap: 8,
+            suite_cap: 4,
+        }
+    }
+}
+
+/// The production engine: bounded suite pool over the real harness.
+pub struct SuiteEngine {
+    caps: EngineCaps,
+    suites: Mutex<HashMap<String, (Arc<Suite>, u64)>>,
+    tick: Mutex<u64>,
+}
+
+impl SuiteEngine {
+    /// An engine with the given residency bounds.
+    pub fn new(caps: EngineCaps) -> Self {
+        SuiteEngine {
+            caps,
+            suites: Mutex::new(HashMap::new()),
+            tick: Mutex::new(0),
+        }
+    }
+
+    fn sim_for(spec: &JobSpec) -> SimConfig {
+        SimConfig {
+            granularity: spec.granularity,
+            l2_mode: spec.l2_mode,
+            ..SimConfig::scaled()
+        }
+    }
+
+    fn mapping_for(spec: &JobSpec, sim: &SimConfig) -> L2ToMcMapping {
+        if spec.m2 {
+            L2ToMcMapping::halves(sim.mesh, &McPlacement::Corners)
+        } else {
+            L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement)
+        }
+    }
+
+    /// The shared suite for this job's configuration, building (and
+    /// LRU-evicting) as needed.
+    fn suite_for(&self, spec: &JobSpec) -> Arc<Suite> {
+        let key = spec.config_canon();
+        let stamp = {
+            let mut t = self.tick.lock().expect("engine tick poisoned");
+            *t += 1;
+            *t
+        };
+        let mut suites = self.suites.lock().expect("engine suites poisoned");
+        if let Some((suite, used)) = suites.get_mut(&key) {
+            *used = stamp;
+            return suite.clone();
+        }
+        let sim = Self::sim_for(spec);
+        let mapping = Self::mapping_for(spec, &sim);
+        let suite = Arc::new(
+            Suite::new(all_apps(spec.scale), mapping, sim)
+                .with_threads_per_core(spec.threads)
+                .with_cache_caps(self.caps.layout_cap, self.caps.trace_cap),
+        );
+        suites.insert(key, (suite.clone(), stamp));
+        while suites.len() > self.caps.suite_cap.max(1) {
+            let victim = suites
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    suites.remove(&k);
+                }
+                None => break,
+            }
+        }
+        suite
+    }
+
+    fn resolve_plan(spec: &JobSpec, suite: &Suite) -> Result<Option<FaultPlan>, String> {
+        let topo = fault_topo(suite.sim());
+        match &spec.faults {
+            FaultSpec::None => Ok(None),
+            FaultSpec::Seed(seed) => Ok(Some(FaultPlan::from_seed(
+                *seed,
+                &topo,
+                &FaultRates::moderate(),
+            ))),
+            FaultSpec::Plan(plan) => {
+                plan.validate(&topo)
+                    .map_err(|e| format!("fault plan does not fit this machine: {e}"))?;
+                Ok(Some(plan.clone()))
+            }
+        }
+    }
+}
+
+impl Engine for SuiteEngine {
+    fn validate(&self, spec: &JobSpec) -> Result<(), String> {
+        if !all_apps(spec.scale).iter().any(|a| a.name() == spec.app) {
+            return Err(format!(
+                "unknown application {:?}; try `hoploc apps`",
+                spec.app
+            ));
+        }
+        if spec.threads == 0 {
+            return Err("threads must be at least 1".into());
+        }
+        if let FaultSpec::Plan(plan) = &spec.faults {
+            let sim = Self::sim_for(spec);
+            plan.validate(&fault_topo(&sim))
+                .map_err(|e| format!("fault plan does not fit this machine: {e}"))?;
+        }
+        Ok(())
+    }
+
+    fn run(&self, spec: &JobSpec) -> Result<String, String> {
+        let suite = self.suite_for(spec);
+        let app_idx = suite
+            .apps()
+            .iter()
+            .position(|a| a.name() == spec.app)
+            .ok_or_else(|| format!("unknown application {:?}", spec.app))?;
+        let run = RunSpec {
+            app: app_idx,
+            kind: spec.kind,
+        };
+        let stats = match Self::resolve_plan(spec, &suite)? {
+            None => suite.run_one(run),
+            Some(plan) => suite.run_one_faulted(run, &plan),
+        };
+        Ok(record_json(&RunRecord {
+            app: spec.app.clone(),
+            kind: spec.kind,
+            stats,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoploc_layout::{Granularity, L2Mode};
+    use hoploc_workloads::{RunKind, Scale};
+
+    fn spec(app: &str) -> JobSpec {
+        JobSpec {
+            app: app.into(),
+            kind: RunKind::Baseline,
+            scale: Scale::Test,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unknown_apps() {
+        let eng = SuiteEngine::new(EngineCaps::default());
+        assert!(eng.validate(&spec("swim")).is_ok());
+        assert!(eng.validate(&spec("nosuchapp")).is_err());
+    }
+
+    #[test]
+    fn run_matches_direct_harness_output() {
+        let eng = SuiteEngine::new(EngineCaps::default());
+        let s = spec("swim");
+        let served = eng.run(&s).unwrap();
+
+        let sim = SuiteEngine::sim_for(&s);
+        let mapping = SuiteEngine::mapping_for(&s, &sim);
+        let suite = Suite::new(all_apps(Scale::Test), mapping, sim);
+        let idx = suite
+            .apps()
+            .iter()
+            .position(|a| a.name() == "swim")
+            .unwrap();
+        let direct = record_json(&RunRecord {
+            app: "swim".into(),
+            kind: RunKind::Baseline,
+            stats: suite.run_one(RunSpec {
+                app: idx,
+                kind: RunKind::Baseline,
+            }),
+        });
+        assert_eq!(served, direct, "served bytes must equal direct run bytes");
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic() {
+        let eng = SuiteEngine::new(EngineCaps::default());
+        let mut s = spec("swim");
+        s.faults = FaultSpec::Seed(7);
+        assert_eq!(eng.run(&s).unwrap(), eng.run(&s).unwrap());
+    }
+
+    #[test]
+    fn suite_pool_is_bounded() {
+        let eng = SuiteEngine::new(EngineCaps {
+            suite_cap: 1,
+            ..EngineCaps::default()
+        });
+        let a = spec("swim");
+        let mut b = spec("swim");
+        b.granularity = Granularity::Page;
+        let _ = eng.suite_for(&a);
+        let _ = eng.suite_for(&b);
+        assert_eq!(eng.suites.lock().unwrap().len(), 1);
+        let mut c = spec("swim");
+        c.l2_mode = L2Mode::Shared;
+        assert_ne!(a.config_canon(), c.config_canon());
+    }
+}

@@ -1,0 +1,290 @@
+//! Job specifications and the canonical job key.
+//!
+//! A job names one cell of the evaluation matrix: an application, a run
+//! kind, the simulator configuration knobs the CLI exposes, and an
+//! optional fault plan. Two submissions describe *the same* simulation
+//! exactly when their [canonical forms](JobSpec::canon) are equal — the
+//! server coalesces and caches on that string, so the definition here is
+//! the contract that makes duplicate submissions cost one simulation.
+
+use hoploc_fault::FaultPlan;
+use hoploc_harness::kind_name;
+use hoploc_layout::{Granularity, L2Mode};
+use hoploc_workloads::{RunKind, Scale};
+
+/// How a job asks for fault injection.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FaultSpec {
+    /// No injection: bit-identical to a fault-free run.
+    None,
+    /// Generate a moderate-intensity plan from this seed against the
+    /// server's machine topology (deterministic: same seed, same plan).
+    Seed(u64),
+    /// An explicit plan, e.g. parsed from the `hoploc faults` text format.
+    Plan(FaultPlan),
+}
+
+impl FaultSpec {
+    fn canon(&self) -> String {
+        match self {
+            FaultSpec::None => "none".to_string(),
+            FaultSpec::Seed(s) => format!("seed:{s}"),
+            // The render/parse pair round-trips plans bit-for-bit, so the
+            // rendered text is a faithful canonical encoding.
+            FaultSpec::Plan(p) => format!("plan:{}", p.render().replace('\n', "|")),
+        }
+    }
+}
+
+/// One job: a fully specified simulation request.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JobSpec {
+    /// Application name (as listed by `hoploc apps`).
+    pub app: String,
+    /// Which side of the comparison to run.
+    pub kind: RunKind,
+    /// Problem size.
+    pub scale: Scale,
+    /// MC interleaving granularity.
+    pub granularity: Granularity,
+    /// Last-level cache organization.
+    pub l2_mode: L2Mode,
+    /// `true` for the M2 (halves, k=2) L2-to-MC mapping.
+    pub m2: bool,
+    /// Threads per core.
+    pub threads: usize,
+    /// Fault injection request.
+    pub faults: FaultSpec,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            app: String::new(),
+            kind: RunKind::Baseline,
+            scale: Scale::Bench,
+            granularity: Granularity::CacheLine,
+            l2_mode: L2Mode::Private,
+            m2: false,
+            threads: 1,
+            faults: FaultSpec::None,
+        }
+    }
+}
+
+/// The canonical identity of a job: the canonical string (the map key the
+/// server coalesces and caches on — collision-proof by construction) plus
+/// its 64-bit FNV-1a hash (the short id shown on the wire).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobKey {
+    /// Canonical field-order-independent encoding of the spec.
+    pub canon: String,
+    /// FNV-1a of `canon`, displayed as 16 hex digits.
+    pub hash: u64,
+}
+
+impl JobKey {
+    /// The 16-hex-digit display form of the hash.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+impl JobSpec {
+    /// Canonical encoding: every field in a fixed order with fixed value
+    /// names. Parsing a submission from JSON with its fields in *any*
+    /// order lands here identically, which is what makes the job hash
+    /// stable under field reordering (asserted by the property suite).
+    pub fn canon(&self) -> String {
+        format!(
+            "app={};kind={};scale={};gran={};l2={};map={};threads={};faults={}",
+            self.app,
+            kind_name(self.kind),
+            scale_name(self.scale),
+            granularity_name(self.granularity),
+            l2_name(self.l2_mode),
+            if self.m2 { "m2" } else { "m1" },
+            self.threads,
+            self.faults.canon(),
+        )
+    }
+
+    /// The canonical key of this spec.
+    pub fn key(&self) -> JobKey {
+        let canon = self.canon();
+        let hash = fnv1a(canon.as_bytes());
+        JobKey { canon, hash }
+    }
+
+    /// The configuration part of the canonical form — everything that
+    /// selects a harness `Suite` (the engine shares one suite, and so one
+    /// set of layout/trace caches, across all apps/kinds/faults under the
+    /// same configuration).
+    pub fn config_canon(&self) -> String {
+        format!(
+            "scale={};gran={};l2={};map={};threads={}",
+            scale_name(self.scale),
+            granularity_name(self.granularity),
+            l2_name(self.l2_mode),
+            if self.m2 { "m2" } else { "m1" },
+            self.threads,
+        )
+    }
+}
+
+/// FNV-1a over a byte string: stable, platform-independent, dependency-free.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Stable wire name of a scale.
+pub fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Test => "test",
+        Scale::Bench => "bench",
+    }
+}
+
+/// Parses a scale wire name.
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "test" => Ok(Scale::Test),
+        "bench" => Ok(Scale::Bench),
+        other => Err(format!("unknown scale {other:?} (use test or bench)")),
+    }
+}
+
+/// Stable wire name of a granularity.
+pub fn granularity_name(g: Granularity) -> &'static str {
+    match g {
+        Granularity::CacheLine => "cacheline",
+        Granularity::Page => "page",
+    }
+}
+
+/// Parses a granularity wire name.
+pub fn parse_granularity(s: &str) -> Result<Granularity, String> {
+    match s {
+        "cacheline" => Ok(Granularity::CacheLine),
+        "page" => Ok(Granularity::Page),
+        other => Err(format!(
+            "unknown granularity {other:?} (use cacheline or page)"
+        )),
+    }
+}
+
+/// Stable wire name of an L2 mode.
+pub fn l2_name(m: L2Mode) -> &'static str {
+    match m {
+        L2Mode::Private => "private",
+        L2Mode::Shared => "shared",
+    }
+}
+
+/// Parses an L2-mode wire name.
+pub fn parse_l2(s: &str) -> Result<L2Mode, String> {
+    match s {
+        "private" => Ok(L2Mode::Private),
+        "shared" => Ok(L2Mode::Shared),
+        other => Err(format!("unknown l2 mode {other:?} (use private or shared)")),
+    }
+}
+
+/// Parses a run-kind wire name (the [`kind_name`] vocabulary).
+pub fn parse_kind(s: &str) -> Result<RunKind, String> {
+    [
+        RunKind::Baseline,
+        RunKind::Optimized,
+        RunKind::FirstTouch,
+        RunKind::Optimal,
+    ]
+    .into_iter()
+    .find(|&k| kind_name(k) == s)
+    .ok_or_else(|| {
+        format!("unknown run kind {s:?} (use baseline, optimized, first-touch, or optimal)")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            app: "swim".into(),
+            kind: RunKind::Optimized,
+            scale: Scale::Test,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn canon_is_deterministic_and_field_sensitive() {
+        let a = spec();
+        assert_eq!(a.key(), a.clone().key());
+        let mut b = a.clone();
+        b.kind = RunKind::Baseline;
+        assert_ne!(a.canon(), b.canon());
+        assert_ne!(a.key().hash, b.key().hash);
+        let mut c = a.clone();
+        c.faults = FaultSpec::Seed(1);
+        assert_ne!(a.canon(), c.canon());
+    }
+
+    #[test]
+    fn config_canon_ignores_app_kind_and_faults() {
+        let a = spec();
+        let mut b = a.clone();
+        b.app = "mgrid".into();
+        b.kind = RunKind::Optimal;
+        b.faults = FaultSpec::Seed(9);
+        assert_eq!(a.config_canon(), b.config_canon());
+        let mut c = a.clone();
+        c.threads = 2;
+        assert_ne!(a.config_canon(), c.config_canon());
+    }
+
+    #[test]
+    fn plan_canon_round_trips_through_render() {
+        use hoploc_fault::{FaultRates, FaultTopo};
+        let topo = FaultTopo {
+            links: 256,
+            mcs: 4,
+            banks_per_mc: 8,
+        };
+        let plan = FaultPlan::from_seed(3, &topo, &FaultRates::moderate());
+        let mut a = spec();
+        a.faults = FaultSpec::Plan(plan.clone());
+        let mut b = spec();
+        b.faults = FaultSpec::Plan(FaultPlan::parse(&plan.render()).unwrap());
+        assert_eq!(a.key(), b.key(), "round-tripped plan must key identically");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for s in [Scale::Test, Scale::Bench] {
+            assert_eq!(parse_scale(scale_name(s)).unwrap(), s);
+        }
+        for g in [Granularity::CacheLine, Granularity::Page] {
+            assert_eq!(parse_granularity(granularity_name(g)).unwrap(), g);
+        }
+        for m in [L2Mode::Private, L2Mode::Shared] {
+            assert_eq!(parse_l2(l2_name(m)).unwrap(), m);
+        }
+        for k in [
+            RunKind::Baseline,
+            RunKind::Optimized,
+            RunKind::FirstTouch,
+            RunKind::Optimal,
+        ] {
+            assert_eq!(parse_kind(kind_name(k)).unwrap(), k);
+        }
+        assert!(parse_scale("huge").is_err());
+        assert!(parse_kind("fastest").is_err());
+    }
+}

@@ -1,0 +1,596 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request and every response is exactly one line of JSON. Requests
+//! carry an `"op"` discriminant (`submit`, `status`, `result`, `stats`,
+//! `drain`, `ping`); responses echo the op and carry `"ok"` — `false`
+//! marks both admission rejects (queue full, draining, invalid job) and
+//! protocol errors, each with a machine-readable `"error"` reason.
+//!
+//! Result and metrics payloads are embedded as *raw* pre-serialized JSON
+//! objects: the encoder splices the bytes in unchanged and the parser
+//! extracts them unchanged, so a result served from the cache or over the
+//! wire is byte-identical to the `record_json` of a direct run — the
+//! property the end-to-end suite asserts literally.
+
+use crate::job::{
+    granularity_name, l2_name, parse_granularity, parse_kind, parse_l2, parse_scale, scale_name,
+    FaultSpec, JobSpec,
+};
+use hoploc_fault::FaultPlan;
+use hoploc_harness::kind_name;
+use hoploc_obs::{parse_json, JsonValue};
+use std::fmt::Write as _;
+
+/// A parsed client request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Submit a job for execution.
+    Submit(JobSpec),
+    /// Ask for a job's current state.
+    Status(u64),
+    /// Wait for and fetch a job's result.
+    Result(u64),
+    /// Fetch the server metrics snapshot.
+    Stats,
+    /// Stop admitting, finish all accepted jobs, snapshot metrics, shut
+    /// down.
+    Drain,
+    /// Liveness probe.
+    Ping,
+}
+
+/// How an accepted submission was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubmitStatus {
+    /// Admitted to the queue; a worker will execute it.
+    Queued,
+    /// Merged with an identical in-flight job: same id, one simulation.
+    Coalesced,
+    /// Served from the result cache: already done on arrival.
+    Cached,
+}
+
+impl SubmitStatus {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubmitStatus::Queued => "queued",
+            SubmitStatus::Coalesced => "coalesced",
+            SubmitStatus::Cached => "cached",
+        }
+    }
+}
+
+/// A server response (one line).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// Submission accepted.
+    Submitted {
+        /// Job id (shared by coalesced submissions).
+        id: u64,
+        /// The 16-hex-digit canonical job hash.
+        key: String,
+        /// How the submission was satisfied.
+        status: SubmitStatus,
+    },
+    /// Submission rejected (backpressure, drain, or invalid job). The
+    /// client should wait `retry_after_ms` before retrying; `0` means
+    /// "don't retry" (the condition is permanent for this server).
+    Rejected {
+        /// Machine-readable reason: `queue_full`, `draining`, or
+        /// `invalid_job`.
+        reason: String,
+        /// Human-readable detail (empty when the reason says it all).
+        detail: String,
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A job's current state.
+    Status {
+        /// Job id.
+        id: u64,
+        /// `queued`, `running`, `done`, or `error`.
+        state: String,
+        /// Jobs currently waiting in the queue.
+        queue_depth: u64,
+    },
+    /// A finished job's result: the raw `record_json` bytes.
+    ResultOk {
+        /// Job id.
+        id: u64,
+        /// Raw single-line JSON run record.
+        result: String,
+    },
+    /// A finished job's structured error (timeout, engine failure).
+    ResultErr {
+        /// Job id.
+        id: u64,
+        /// What went wrong.
+        error: String,
+    },
+    /// The server metrics snapshot as a raw JSON object.
+    Stats {
+        /// Raw single-line JSON metrics object.
+        metrics: String,
+    },
+    /// Drain acknowledged: all accepted jobs answered, server exiting.
+    Drained {
+        /// Jobs that received a terminal answer over the server lifetime.
+        answered: u64,
+        /// Simulations actually executed (less than submissions when
+        /// coalescing/caching did their job).
+        executed: u64,
+        /// Final metrics snapshot as a raw JSON object.
+        metrics: String,
+    },
+    /// Reply to `ping`.
+    Pong,
+    /// The request line could not be understood.
+    ProtocolError {
+        /// Parse/validation failure description.
+        error: String,
+    },
+}
+
+/// JSON string literal with escaping.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Encodes a job spec as the `"job"` object of a submit request. Faults
+/// encode as `fault_seed` (seeded generation) or `fault_plan` (the
+/// `hoploc faults` text format, JSON-escaped).
+pub fn encode_job(spec: &JobSpec) -> String {
+    let mut s = format!(
+        "{{\"app\":{},\"kind\":\"{}\",\"scale\":\"{}\",\"granularity\":\"{}\",\
+         \"l2\":\"{}\",\"mapping\":\"{}\",\"threads\":{}",
+        json_string(&spec.app),
+        kind_name(spec.kind),
+        scale_name(spec.scale),
+        granularity_name(spec.granularity),
+        l2_name(spec.l2_mode),
+        if spec.m2 { "m2" } else { "m1" },
+        spec.threads,
+    );
+    match &spec.faults {
+        FaultSpec::None => {}
+        FaultSpec::Seed(seed) => {
+            let _ = write!(s, ",\"fault_seed\":{seed}");
+        }
+        FaultSpec::Plan(plan) => {
+            let _ = write!(s, ",\"fault_plan\":{}", json_string(&plan.render()));
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Parses the `"job"` object of a submit request. Unknown fields are
+/// rejected — a typoed knob must not silently fall back to a default and
+/// key (or simulate) something the client did not ask for.
+pub fn parse_job(v: &JsonValue) -> Result<JobSpec, String> {
+    let JsonValue::Obj(members) = v else {
+        return Err("job must be an object".into());
+    };
+    let mut spec = JobSpec::default();
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_plan: Option<FaultPlan> = None;
+    let mut saw_app = false;
+    let mut saw_kind = false;
+    for (k, val) in members {
+        match k.as_str() {
+            "app" => {
+                spec.app = val.as_str().ok_or("app must be a string")?.to_string();
+                saw_app = true;
+            }
+            "kind" => {
+                spec.kind = parse_kind(val.as_str().ok_or("kind must be a string")?)?;
+                saw_kind = true;
+            }
+            "scale" => {
+                spec.scale = parse_scale(val.as_str().ok_or("scale must be a string")?)?;
+            }
+            "granularity" => {
+                spec.granularity =
+                    parse_granularity(val.as_str().ok_or("granularity must be a string")?)?;
+            }
+            "l2" => {
+                spec.l2_mode = parse_l2(val.as_str().ok_or("l2 must be a string")?)?;
+            }
+            "mapping" => match val.as_str().ok_or("mapping must be a string")? {
+                "m1" => spec.m2 = false,
+                "m2" => spec.m2 = true,
+                other => return Err(format!("unknown mapping {other:?} (use m1 or m2)")),
+            },
+            "threads" => {
+                let n = val
+                    .as_u64()
+                    .ok_or("threads must be a non-negative integer")?;
+                if n == 0 {
+                    return Err("threads must be at least 1".into());
+                }
+                spec.threads = n as usize;
+            }
+            "fault_seed" => {
+                fault_seed = Some(
+                    val.as_u64()
+                        .ok_or("fault_seed must be a non-negative integer")?,
+                );
+            }
+            "fault_plan" => {
+                let text = val.as_str().ok_or("fault_plan must be a string")?;
+                fault_plan = Some(FaultPlan::parse(text).map_err(|e| format!("fault_plan: {e}"))?);
+            }
+            other => return Err(format!("unknown job field {other:?}")),
+        }
+    }
+    if !saw_app {
+        return Err("job is missing required field \"app\"".into());
+    }
+    if !saw_kind {
+        return Err("job is missing required field \"kind\"".into());
+    }
+    spec.faults = match (fault_seed, fault_plan) {
+        (Some(_), Some(_)) => {
+            return Err("fault_seed and fault_plan are mutually exclusive".into());
+        }
+        (Some(seed), None) => FaultSpec::Seed(seed),
+        (None, Some(plan)) => FaultSpec::Plan(plan),
+        (None, None) => FaultSpec::None,
+    };
+    Ok(spec)
+}
+
+/// Encodes a request as one line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Submit(spec) => format!("{{\"op\":\"submit\",\"job\":{}}}", encode_job(spec)),
+        Request::Status(id) => format!("{{\"op\":\"status\",\"id\":{id}}}"),
+        Request::Result(id) => format!("{{\"op\":\"result\",\"id\":{id}}}"),
+        Request::Stats => "{\"op\":\"stats\"}".to_string(),
+        Request::Drain => "{\"op\":\"drain\"}".to_string(),
+        Request::Ping => "{\"op\":\"ping\"}".to_string(),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse_json(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(|o| o.as_str())
+        .ok_or("missing \"op\" string")?;
+    let id = || {
+        v.get("id")
+            .and_then(|i| i.as_u64())
+            .ok_or_else(|| format!("op {op:?} needs a numeric \"id\""))
+    };
+    match op {
+        "submit" => {
+            let job = v.get("job").ok_or("submit needs a \"job\" object")?;
+            Ok(Request::Submit(parse_job(job)?))
+        }
+        "status" => Ok(Request::Status(id()?)),
+        "result" => Ok(Request::Result(id()?)),
+        "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
+        "ping" => Ok(Request::Ping),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Encodes a response as one line (no trailing newline). `result` and
+/// `metrics` payloads are spliced in as raw bytes.
+pub fn encode_response(resp: &Response) -> String {
+    match resp {
+        Response::Submitted { id, key, status } => format!(
+            "{{\"ok\":true,\"op\":\"submit\",\"id\":{id},\"key\":\"{key}\",\"status\":\"{}\"}}",
+            status.name()
+        ),
+        Response::Rejected {
+            reason,
+            detail,
+            retry_after_ms,
+        } => format!(
+            "{{\"ok\":false,\"op\":\"submit\",\"error\":{},\"detail\":{},\"retry_after_ms\":{retry_after_ms}}}",
+            json_string(reason),
+            json_string(detail),
+        ),
+        Response::Status {
+            id,
+            state,
+            queue_depth,
+        } => format!(
+            "{{\"ok\":true,\"op\":\"status\",\"id\":{id},\"state\":{},\"queue_depth\":{queue_depth}}}",
+            json_string(state),
+        ),
+        Response::ResultOk { id, result } => format!(
+            "{{\"ok\":true,\"op\":\"result\",\"id\":{id},\"state\":\"done\",\"result\":{result}}}"
+        ),
+        Response::ResultErr { id, error } => format!(
+            "{{\"ok\":true,\"op\":\"result\",\"id\":{id},\"state\":\"error\",\"error\":{}}}",
+            json_string(error),
+        ),
+        Response::Stats { metrics } => {
+            format!("{{\"ok\":true,\"op\":\"stats\",\"metrics\":{metrics}}}")
+        }
+        Response::Drained {
+            answered,
+            executed,
+            metrics,
+        } => format!(
+            "{{\"ok\":true,\"op\":\"drain\",\"answered\":{answered},\"executed\":{executed},\"metrics\":{metrics}}}"
+        ),
+        Response::Pong => "{\"ok\":true,\"op\":\"ping\"}".to_string(),
+        Response::ProtocolError { error } => format!(
+            "{{\"ok\":false,\"op\":\"error\",\"error\":{}}}",
+            json_string(error),
+        ),
+    }
+}
+
+/// Extracts the raw bytes of the JSON object value of `"key":` in `line`,
+/// balancing braces and skipping string contents. This is how result and
+/// metrics payloads cross the protocol without a reserialization that
+/// could perturb their bytes.
+pub fn extract_raw_object(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let bytes = line.as_bytes();
+    if *bytes.get(start)? != b'{' {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(line[start..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses one response line back into a [`Response`] (the client half of
+/// the protocol). Raw `result`/`metrics` payloads are preserved
+/// byte-for-byte.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let v = parse_json(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let ok = matches!(v.get("ok"), Some(JsonValue::Bool(true)));
+    let op = v
+        .get("op")
+        .and_then(|o| o.as_str())
+        .ok_or("missing \"op\" string")?;
+    let str_field = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(|s| s.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string \"{name}\""))
+    };
+    let num_field = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(|n| n.as_u64())
+            .ok_or_else(|| format!("missing number \"{name}\""))
+    };
+    match (op, ok) {
+        ("submit", true) => {
+            let status = match str_field("status")?.as_str() {
+                "queued" => SubmitStatus::Queued,
+                "coalesced" => SubmitStatus::Coalesced,
+                "cached" => SubmitStatus::Cached,
+                other => return Err(format!("unknown submit status {other:?}")),
+            };
+            Ok(Response::Submitted {
+                id: num_field("id")?,
+                key: str_field("key")?,
+                status,
+            })
+        }
+        ("submit", false) => Ok(Response::Rejected {
+            reason: str_field("error")?,
+            detail: str_field("detail")?,
+            retry_after_ms: num_field("retry_after_ms")?,
+        }),
+        ("status", true) => Ok(Response::Status {
+            id: num_field("id")?,
+            state: str_field("state")?,
+            queue_depth: num_field("queue_depth")?,
+        }),
+        ("result", true) => {
+            let id = num_field("id")?;
+            match str_field("state")?.as_str() {
+                "done" => Ok(Response::ResultOk {
+                    id,
+                    result: extract_raw_object(line, "result")
+                        .ok_or("result reply is missing its \"result\" object")?,
+                }),
+                "error" => Ok(Response::ResultErr {
+                    id,
+                    error: str_field("error")?,
+                }),
+                other => Err(format!("unknown result state {other:?}")),
+            }
+        }
+        ("stats", true) => Ok(Response::Stats {
+            metrics: extract_raw_object(line, "metrics")
+                .ok_or("stats reply is missing its \"metrics\" object")?,
+        }),
+        ("drain", true) => Ok(Response::Drained {
+            answered: num_field("answered")?,
+            executed: num_field("executed")?,
+            metrics: extract_raw_object(line, "metrics")
+                .ok_or("drain reply is missing its \"metrics\" object")?,
+        }),
+        ("ping", true) => Ok(Response::Pong),
+        ("error", false) => Ok(Response::ProtocolError {
+            error: str_field("error")?,
+        }),
+        (op, ok) => Err(format!("unexpected reply op {op:?} with ok={ok}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoploc_workloads::{RunKind, Scale};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            app: "swim".into(),
+            kind: RunKind::Optimized,
+            scale: Scale::Test,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn submit_round_trips() {
+        for faults in [
+            FaultSpec::None,
+            FaultSpec::Seed(42),
+            FaultSpec::Plan(FaultPlan::parse("mc 1 from=5 until=9\n").unwrap()),
+        ] {
+            let mut s = spec();
+            s.faults = faults;
+            let req = Request::Submit(s);
+            let line = encode_request(&req);
+            assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn plain_ops_round_trip() {
+        for req in [
+            Request::Status(7),
+            Request::Result(9),
+            Request::Stats,
+            Request::Drain,
+            Request::Ping,
+        ] {
+            let line = encode_request(&req);
+            assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn unknown_job_fields_are_rejected() {
+        let line = r#"{"op":"submit","job":{"app":"swim","kind":"baseline","granlarity":"page"}}"#;
+        let err = parse_request(line).unwrap_err();
+        assert!(err.contains("granlarity"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_fields_are_rejected() {
+        for (line, needle) in [
+            (r#"{"op":"submit","job":{"kind":"baseline"}}"#, "app"),
+            (r#"{"op":"submit","job":{"app":"swim"}}"#, "kind"),
+            (r#"{"op":"status"}"#, "id"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"{"job":{}}"#, "op"),
+            ("not json", "malformed"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}` -> `{err}`");
+        }
+    }
+
+    #[test]
+    fn exclusive_fault_fields() {
+        let line = r##"{"op":"submit","job":{"app":"a","kind":"baseline","fault_seed":1,"fault_plan":"# x\n"}}"##;
+        assert!(parse_request(line)
+            .unwrap_err()
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn raw_extraction_balances_braces_and_strings() {
+        let line = r#"{"ok":true,"op":"stats","metrics":{"a":{"b":[1,2]},"s":"}{"}}"#;
+        assert_eq!(
+            extract_raw_object(line, "metrics").unwrap(),
+            r#"{"a":{"b":[1,2]},"s":"}{"}"#
+        );
+        assert!(extract_raw_object(line, "result").is_none());
+    }
+
+    #[test]
+    fn responses_round_trip_including_errors() {
+        let raw = r#"{"app": "swim", "kind": "baseline", "exec_cycles": 12}"#;
+        let metrics =
+            r#"{"counters": {"serve.submitted": [3]},"gauges": {},"histograms": {},"series": {}}"#;
+        for resp in [
+            Response::Submitted {
+                id: 3,
+                key: "00ff".into(),
+                status: SubmitStatus::Coalesced,
+            },
+            Response::Rejected {
+                reason: "queue_full".into(),
+                detail: "queue at capacity 2".into(),
+                retry_after_ms: 50,
+            },
+            Response::Status {
+                id: 3,
+                state: "running".into(),
+                queue_depth: 2,
+            },
+            Response::ResultOk {
+                id: 3,
+                result: raw.to_string(),
+            },
+            Response::ResultErr {
+                id: 3,
+                error: "timeout after 10 ms".into(),
+            },
+            Response::Stats {
+                metrics: metrics.to_string(),
+            },
+            Response::Drained {
+                answered: 12,
+                executed: 4,
+                metrics: metrics.to_string(),
+            },
+            Response::Pong,
+            Response::ProtocolError {
+                error: "unknown op \"warp\"".into(),
+            },
+        ] {
+            let line = encode_response(&resp);
+            assert!(!line.contains('\n'), "one line: {line}");
+            assert_eq!(parse_response(&line).unwrap(), resp, "{line}");
+        }
+    }
+}

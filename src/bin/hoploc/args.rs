@@ -1,0 +1,345 @@
+//! One shared option parser for every `hoploc` subcommand.
+//!
+//! Each subcommand declares which flags it accepts; the parse loop,
+//! value handling, and error wording live here once. Unknown or
+//! malformed flags produce the same shape of message everywhere —
+//! naming the subcommand and listing its valid options — and are
+//! *usage* errors (exit code 2), distinct from runtime failures
+//! (exit code 1).
+
+use hoploc::harness::default_jobs;
+use hoploc::layout::{Granularity, L2Mode};
+use hoploc::obs::ObsConfig;
+use hoploc::workloads::{RunKind, Scale};
+
+/// Parsed options, defaulted; each subcommand reads the fields it uses.
+#[derive(Debug)]
+pub struct Options {
+    pub granularity: Granularity,
+    pub l2_mode: L2Mode,
+    pub m2: bool,
+    pub first_touch: bool,
+    pub optimal: bool,
+    pub threads: usize,
+    pub scale: Scale,
+    pub jobs: usize,
+    pub json: Option<String>,
+    pub deny_warnings: bool,
+    pub config: String,
+    pub out: String,
+    pub epoch: u64,
+    pub span_cap: u64,
+    pub plan: Option<String>,
+    // serve / load
+    pub addr: String,
+    pub workers: usize,
+    pub queue_cap: usize,
+    pub cache_cap: usize,
+    pub timeout_ms: u64,
+    pub retry_after_ms: u64,
+    pub metrics_out: Option<String>,
+    pub clients: usize,
+    pub repeat: usize,
+    pub max_retries: u64,
+    pub drain: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            granularity: Granularity::CacheLine,
+            l2_mode: L2Mode::Private,
+            m2: false,
+            first_touch: false,
+            optimal: false,
+            threads: 1,
+            scale: Scale::Bench,
+            jobs: default_jobs(),
+            json: None,
+            deny_warnings: false,
+            config: "optimized".to_string(),
+            out: "traces".to_string(),
+            epoch: ObsConfig::default().epoch_cycles,
+            span_cap: 0,
+            plan: None,
+            addr: "127.0.0.1:7077".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            cache_cap: 256,
+            timeout_ms: 0,
+            retry_after_ms: 25,
+            metrics_out: None,
+            clients: 4,
+            repeat: 2,
+            max_retries: 10_000,
+            drain: false,
+        }
+    }
+}
+
+impl Options {
+    pub fn baseline_kind(&self) -> RunKind {
+        if self.first_touch {
+            RunKind::FirstTouch
+        } else {
+            RunKind::Baseline
+        }
+    }
+
+    pub fn optimized_kind(&self) -> RunKind {
+        if self.optimal {
+            RunKind::Optimal
+        } else {
+            RunKind::Optimized
+        }
+    }
+}
+
+/// The simulator-shape flags shared by every simulation subcommand.
+const SIM: [&str; 6] = [
+    "--page",
+    "--cacheline",
+    "--shared",
+    "--m2",
+    "--threads",
+    "--scale",
+];
+
+/// The flags `cmd` accepts, or `None` for an unknown subcommand.
+pub fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
+    let mut v: Vec<&'static str> = Vec::new();
+    match cmd {
+        "apps" => v.push("--scale"),
+        "compile" => v.extend(SIM),
+        "run" | "links" | "sweep" => {
+            v.extend(SIM);
+            v.extend(["--first-touch", "--optimal", "--jobs", "--json"]);
+        }
+        "check" => {
+            v.extend(SIM);
+            v.extend(["--jobs", "--json", "--deny"]);
+        }
+        "trace" => {
+            v.extend(SIM);
+            v.extend(["--jobs", "--config", "--out", "--epoch", "--span-cap"]);
+        }
+        "faults" => {
+            v.extend(SIM);
+            v.extend(["--first-touch", "--optimal", "--json", "--plan"]);
+        }
+        "trace-validate" => {}
+        "serve" => v.extend([
+            "--addr",
+            "--workers",
+            "--queue-cap",
+            "--cache-cap",
+            "--timeout-ms",
+            "--retry-after-ms",
+            "--metrics-out",
+        ]),
+        "load" => v.extend([
+            "--addr",
+            "--clients",
+            "--repeat",
+            "--scale",
+            "--first-touch",
+            "--optimal",
+            "--max-retries",
+            "--drain",
+            "--json",
+        ]),
+        _ => return None,
+    }
+    Some(v)
+}
+
+/// Whether `flag` consumes the next argument as its value.
+fn takes_value(flag: &str) -> bool {
+    !matches!(
+        flag,
+        "--page" | "--cacheline" | "--shared" | "--m2" | "--first-touch" | "--optimal" | "--drain"
+    )
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} needs a number, got `{v}`"))
+}
+
+/// Applies one flag (with its value, if it takes one) to the options.
+fn apply(o: &mut Options, flag: &str, value: Option<&str>) -> Result<(), String> {
+    let val = || value.expect("valued flags always arrive with a value");
+    match flag {
+        "--page" => o.granularity = Granularity::Page,
+        "--cacheline" => o.granularity = Granularity::CacheLine,
+        "--shared" => o.l2_mode = L2Mode::Shared,
+        "--m2" => o.m2 = true,
+        "--first-touch" => o.first_touch = true,
+        "--optimal" => o.optimal = true,
+        "--drain" => o.drain = true,
+        "--threads" => {
+            o.threads = parse_num(flag, val())?;
+            if o.threads == 0 {
+                return Err("--threads needs at least 1".into());
+            }
+        }
+        "--jobs" => {
+            o.jobs = parse_num(flag, val())?;
+            if o.jobs == 0 {
+                return Err("--jobs needs at least one worker".into());
+            }
+        }
+        "--json" => o.json = Some(val().to_string()),
+        "--config" => o.config = val().to_string(),
+        "--out" => o.out = val().to_string(),
+        "--epoch" => o.epoch = parse_num(flag, val())?,
+        "--span-cap" => o.span_cap = parse_num(flag, val())?,
+        "--plan" => o.plan = Some(val().to_string()),
+        "--deny" => match val() {
+            "warnings" => o.deny_warnings = true,
+            other => return Err(format!("--deny only takes `warnings`, got `{other}`")),
+        },
+        "--scale" => match val() {
+            "test" => o.scale = Scale::Test,
+            "bench" => o.scale = Scale::Bench,
+            other => return Err(format!("--scale takes `test` or `bench`, got `{other}`")),
+        },
+        "--addr" => o.addr = val().to_string(),
+        "--workers" => {
+            o.workers = parse_num(flag, val())?;
+            if o.workers == 0 {
+                return Err("--workers needs at least 1".into());
+            }
+        }
+        "--queue-cap" => {
+            o.queue_cap = parse_num(flag, val())?;
+            if o.queue_cap == 0 {
+                return Err("--queue-cap needs at least 1".into());
+            }
+        }
+        "--cache-cap" => o.cache_cap = parse_num(flag, val())?,
+        "--timeout-ms" => o.timeout_ms = parse_num(flag, val())?,
+        "--retry-after-ms" => o.retry_after_ms = parse_num(flag, val())?,
+        "--metrics-out" => o.metrics_out = Some(val().to_string()),
+        "--clients" => {
+            o.clients = parse_num(flag, val())?;
+            if o.clients == 0 {
+                return Err("--clients needs at least 1".into());
+            }
+        }
+        "--repeat" => {
+            o.repeat = parse_num(flag, val())?;
+            if o.repeat == 0 {
+                return Err("--repeat needs at least 1".into());
+            }
+        }
+        "--max-retries" => o.max_retries = parse_num(flag, val())?,
+        other => return Err(format!("unhandled flag `{other}` (parser bug)")),
+    }
+    Ok(())
+}
+
+/// Parses `args` for subcommand `cmd`. Every error is a usage error:
+/// unknown flags name the subcommand and list its valid options, so the
+/// wording is identical across `run`, `trace`, `faults`, `check`,
+/// `serve`, `load`, and the rest.
+pub fn parse(cmd: &str, args: &[String]) -> Result<Options, String> {
+    let allowed = allowed_flags(cmd).ok_or_else(|| format!("unknown subcommand `{cmd}`"))?;
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let flag = a.as_str();
+        if !allowed.contains(&flag) {
+            return Err(if allowed.is_empty() {
+                format!("`hoploc {cmd}` takes no options, got `{flag}`")
+            } else {
+                format!(
+                    "`{flag}` is not an option of `hoploc {cmd}`; valid options: {}",
+                    allowed.join(", ")
+                )
+            });
+        }
+        if takes_value(flag) {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .as_str();
+            apply(&mut o, flag, Some(v))?;
+        } else {
+            apply(&mut o, flag, None)?;
+        }
+    }
+    Ok(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn shared_flags_parse_everywhere() {
+        for cmd in ["run", "sweep", "trace", "faults", "compile"] {
+            let o = parse(cmd, &args(&["--page", "--shared", "--scale", "test"])).unwrap();
+            assert_eq!(o.granularity, Granularity::Page);
+            assert_eq!(o.l2_mode, L2Mode::Shared);
+            assert_eq!(o.scale, Scale::Test);
+        }
+    }
+
+    #[test]
+    fn unknown_flags_name_the_subcommand_and_options() {
+        let err = parse("trace", &args(&["--plan", "3"])).unwrap_err();
+        assert!(err.contains("hoploc trace"), "{err}");
+        assert!(err.contains("--span-cap"), "{err}");
+        let err = parse("serve", &args(&["--shared"])).unwrap_err();
+        assert!(err.contains("hoploc serve"), "{err}");
+        assert!(err.contains("--queue-cap"), "{err}");
+    }
+
+    #[test]
+    fn serve_and_load_flags_parse() {
+        let o = parse(
+            "serve",
+            &args(&[
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "3",
+                "--queue-cap",
+                "5",
+                "--cache-cap",
+                "7",
+                "--timeout-ms",
+                "900",
+            ]),
+        )
+        .unwrap();
+        assert_eq!((o.workers, o.queue_cap, o.cache_cap), (3, 5, 7));
+        assert_eq!(o.timeout_ms, 900);
+        let o = parse(
+            "load",
+            &args(&["--clients", "8", "--repeat", "3", "--drain"]),
+        )
+        .unwrap();
+        assert_eq!((o.clients, o.repeat, o.drain), (8, 3, true));
+    }
+
+    #[test]
+    fn bad_values_are_usage_errors() {
+        assert!(parse("run", &args(&["--threads"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse("run", &args(&["--threads", "x"]))
+            .unwrap_err()
+            .contains("needs a number"));
+        assert!(parse("serve", &args(&["--workers", "0"])).is_err());
+        assert!(parse("check", &args(&["--deny", "notes"])).is_err());
+        assert!(parse("nope", &[])
+            .unwrap_err()
+            .contains("unknown subcommand"));
+    }
+}

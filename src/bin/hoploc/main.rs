@@ -16,6 +16,15 @@
 //!                                  stalls/transient errors with bounded
 //!                                  retry, whole-MC outages with
 //!                                  re-homing) and report the degradation
+//! hoploc serve [options]           serve simulations over TCP: bounded
+//!                                  queue with backpressure, duplicate
+//!                                  coalescing, LRU result cache, graceful
+//!                                  drain (send "drain" on the connection
+//!                                  or type `drain` on stdin)
+//! hoploc load [options]            loopback load generator: concurrent
+//!                                  clients submit the app x run-kind
+//!                                  matrix and report throughput and tail
+//!                                  latency
 //!
 //! `check` proves every layout recipe injective and in-bounds, re-derives
 //! the dependence verdicts behind each nest's parallel dimension, and
@@ -24,7 +33,8 @@
 //! reports structured `HLxxxx` diagnostics. Exit status is nonzero on
 //! errors (or on warnings too, under `--deny warnings`).
 //!
-//! options:
+//! options (each subcommand accepts its own subset; an unknown flag
+//! names the subcommand and lists the valid options):
 //!   --page | --cacheline           interleaving granularity (default cacheline)
 //!   --shared                       shared SNUCA L2 instead of private L2s
 //!   --m2                           use the M2 (halves, k=2) mapping
@@ -35,175 +45,90 @@
 //!   --jobs <n>                     worker threads for the suite sweep
 //!                                  (default: available parallelism)
 //!   --json <path|->                also write a machine-readable JSON
-//!                                  summary of every run (- for stdout)
+//!                                  summary (- for stdout)
 //!   --deny warnings                (check) treat warnings as fatal
-//!   --config <kind|all>            (trace) which run kind(s) to trace:
-//!                                  baseline, optimized, first-touch,
-//!                                  optimal, or all (default optimized)
+//!   --config <kind|all>            (trace) which run kind(s) to trace
 //!   --out <dir>                    (trace) output directory (default traces)
 //!   --epoch <cycles>               (trace) windowed-series epoch width
 //!   --span-cap <n>                 (trace) record spans for the first n
 //!                                  requests only (0 = unlimited)
-//!   --plan <seed|file>             (faults) a u64 seed for generated
-//!                                  moderate-intensity faults, or a path
-//!                                  to a fault-plan text file (default
-//!                                  seed 0); same plan, same run, same
-//!                                  bytes — always
+//!   --plan <seed|file>             (faults) a u64 seed or a plan file
+//!   --addr <host:port>             (serve, load) server address
+//!                                  (default 127.0.0.1:7077; port 0 picks
+//!                                  a free port and prints it)
+//!   --workers <n>                  (serve) job worker threads (default 2)
+//!   --queue-cap <n>                (serve) queue capacity before
+//!                                  backpressure rejects (default 64)
+//!   --cache-cap <n>                (serve) result-cache entries, 0 to
+//!                                  disable (default 256)
+//!   --timeout-ms <ms>              (serve) per-job wall-clock budget,
+//!                                  0 = none (default 0)
+//!   --retry-after-ms <ms>          (serve) backoff hint sent with
+//!                                  queue_full rejections (default 25)
+//!   --metrics-out <path>           (serve) write the final metrics
+//!                                  snapshot here after drain
+//!   --clients <n>                  (load) concurrent connections (default 4)
+//!   --repeat <n>                   (load) submissions per matrix cell
+//!                                  (default 2; >1 exercises coalescing)
+//!   --max-retries <n>              (load) backpressure retry budget
+//!   --drain                        (load) drain the server afterwards
 //! ```
+//!
+//! Usage errors (unknown subcommand/flag/value) exit 2; runtime failures
+//! exit 1.
 
+mod args;
+
+use args::{parse, Options};
 use hoploc::affine::parallelization_is_legal;
 use hoploc::check::{
     check_layout, check_program, count, render_json, render_text, should_fail, CheckConfig,
 };
 use hoploc::fault::{FaultPlan, FaultRates};
 use hoploc::harness::{
-    default_jobs, fault_topo, kind_name, parallel_map, render_table, to_json, RunRecord, RunSpec,
-    Suite,
+    fault_topo, kind_name, parallel_map, render_table, to_json, RunRecord, RunSpec, Suite,
 };
 use hoploc::layout::{
     codegen, determine_data_to_core, optimize_program, Granularity, L2Mode, PassConfig,
 };
 use hoploc::noc::{L2ToMcMapping, McPlacement};
 use hoploc::obs::{validate_chrome_trace, ObsConfig};
+use hoploc::serve::{
+    load::{render_report, report_json},
+    Client, EngineCaps, LoadConfig, ServeConfig, Server, SuiteEngine,
+};
 use hoploc::sim::{Improvement, SimConfig};
 use hoploc::workloads::{all_apps, layout_for, App, RunKind, Scale};
+use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-struct Options {
-    granularity: Granularity,
-    l2_mode: L2Mode,
-    m2: bool,
-    first_touch: bool,
-    optimal: bool,
-    threads: usize,
-    scale: Scale,
-    jobs: usize,
-    json: Option<String>,
-    deny_warnings: bool,
-    config: String,
-    out: String,
-    epoch: u64,
-    span_cap: u64,
-    plan: Option<String>,
+/// Usage errors (bad subcommand, flag, or value) exit with this code;
+/// runtime failures exit 1.
+const USAGE: u8 = 2;
+
+fn sim(o: &Options) -> SimConfig {
+    SimConfig {
+        granularity: o.granularity,
+        l2_mode: o.l2_mode,
+        ..SimConfig::scaled()
+    }
 }
 
-impl Options {
-    fn parse(args: &[String]) -> Result<Options, String> {
-        let mut o = Options {
-            granularity: Granularity::CacheLine,
-            l2_mode: L2Mode::Private,
-            m2: false,
-            first_touch: false,
-            optimal: false,
-            threads: 1,
-            scale: Scale::Bench,
-            jobs: default_jobs(),
-            json: None,
-            deny_warnings: false,
-            config: "optimized".to_string(),
-            out: "traces".to_string(),
-            epoch: ObsConfig::default().epoch_cycles,
-            span_cap: 0,
-            plan: None,
-        };
-        let mut it = args.iter();
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--page" => o.granularity = Granularity::Page,
-                "--cacheline" => o.granularity = Granularity::CacheLine,
-                "--shared" => o.l2_mode = L2Mode::Shared,
-                "--m2" => o.m2 = true,
-                "--first-touch" => o.first_touch = true,
-                "--optimal" => o.optimal = true,
-                "--threads" => {
-                    let v = it.next().ok_or("--threads needs a value")?;
-                    o.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
-                }
-                "--jobs" => {
-                    let v = it.next().ok_or("--jobs needs a value")?;
-                    o.jobs = v.parse().map_err(|_| format!("bad job count {v}"))?;
-                    if o.jobs == 0 {
-                        return Err("--jobs needs at least one worker".into());
-                    }
-                }
-                "--json" => {
-                    let v = it.next().ok_or("--json needs a path (or -)")?;
-                    o.json = Some(v.clone());
-                }
-                "--config" => {
-                    let v = it.next().ok_or("--config needs a run kind (or all)")?;
-                    o.config = v.clone();
-                }
-                "--out" => {
-                    let v = it.next().ok_or("--out needs a directory")?;
-                    o.out = v.clone();
-                }
-                "--epoch" => {
-                    let v = it.next().ok_or("--epoch needs a cycle count")?;
-                    o.epoch = v.parse().map_err(|_| format!("bad epoch width {v}"))?;
-                }
-                "--span-cap" => {
-                    let v = it.next().ok_or("--span-cap needs a request count")?;
-                    o.span_cap = v.parse().map_err(|_| format!("bad span cap {v}"))?;
-                }
-                "--plan" => {
-                    let v = it.next().ok_or("--plan needs a seed or a file path")?;
-                    o.plan = Some(v.clone());
-                }
-                "--deny" => match it.next().map(String::as_str) {
-                    Some("warnings") => o.deny_warnings = true,
-                    other => return Err(format!("--deny only takes `warnings`, got {other:?}")),
-                },
-                "--scale" => match it.next().map(String::as_str) {
-                    Some("test") => o.scale = Scale::Test,
-                    Some("bench") => o.scale = Scale::Bench,
-                    other => return Err(format!("bad scale {other:?}")),
-                },
-                other => return Err(format!("unknown option {other}")),
-            }
-        }
-        Ok(o)
+fn mapping(o: &Options, sim: &SimConfig) -> L2ToMcMapping {
+    if o.m2 {
+        L2ToMcMapping::halves(sim.mesh, &McPlacement::Corners)
+    } else {
+        L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement)
     }
+}
 
-    fn sim(&self) -> SimConfig {
-        SimConfig {
-            granularity: self.granularity,
-            l2_mode: self.l2_mode,
-            ..SimConfig::scaled()
-        }
-    }
-
-    fn mapping(&self, sim: &SimConfig) -> L2ToMcMapping {
-        if self.m2 {
-            L2ToMcMapping::halves(sim.mesh, &McPlacement::Corners)
-        } else {
-            L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement)
-        }
-    }
-
-    /// The (single-app or whole-suite) harness all simulation commands run
-    /// through, so baseline-class runs share layouts and traces.
-    fn suite(&self, apps: Vec<App>) -> Suite {
-        let sim = self.sim();
-        let mapping = self.mapping(&sim);
-        Suite::new(apps, mapping, sim).with_threads_per_core(self.threads)
-    }
-
-    fn baseline_kind(&self) -> RunKind {
-        if self.first_touch {
-            RunKind::FirstTouch
-        } else {
-            RunKind::Baseline
-        }
-    }
-
-    fn optimized_kind(&self) -> RunKind {
-        if self.optimal {
-            RunKind::Optimal
-        } else {
-            RunKind::Optimized
-        }
-    }
+/// The (single-app or whole-suite) harness all simulation commands run
+/// through, so baseline-class runs share layouts and traces.
+fn suite(o: &Options, apps: Vec<App>) -> Suite {
+    let sim = sim(o);
+    let mapping = mapping(o, &sim);
+    Suite::new(apps, mapping, sim).with_threads_per_core(o.threads)
 }
 
 /// Writes the JSON summary to the `--json` target (stdout for `-`).
@@ -243,8 +168,8 @@ fn cmd_apps(scale: Scale) {
 }
 
 fn cmd_compile(app: &App, o: &Options) {
-    let sim = o.sim();
-    let mapping = o.mapping(&sim);
+    let sim = sim(o);
+    let mapping = mapping(o, &sim);
     let layout = layout_for(app, &mapping, &sim, RunKind::Optimized);
     println!("== {} : layout pass report ==", app.name());
     for r in layout.reports() {
@@ -351,8 +276,8 @@ fn cmd_check(target: &str, o: &Options) -> ExitCode {
             }
         }
     };
-    let sim = o.sim();
-    let mapping = o.mapping(&sim);
+    let sim = sim(o);
+    let mapping = mapping(o, &sim);
     let cfg = CheckConfig::default();
     let configs = check_configs();
     let diags: Vec<_> = parallel_map(&apps, o.jobs, |app| {
@@ -392,7 +317,7 @@ fn cmd_check(target: &str, o: &Options) -> ExitCode {
 
 fn cmd_run(app: App, o: &Options) {
     let name = app.name().to_string();
-    let suite = o.suite(vec![app]);
+    let suite = suite(o, vec![app]);
     let kinds = [o.baseline_kind(), o.optimized_kind()];
     let records = suite.run_full(&kinds, o.jobs.min(2));
     let (base, opt) = (&records[0].stats, &records[1].stats);
@@ -440,7 +365,7 @@ fn cmd_run(app: App, o: &Options) {
 
 fn cmd_links(app: App, o: &Options) {
     let name = app.name().to_string();
-    let suite = o.suite(vec![app]);
+    let suite = suite(o, vec![app]);
     let stats = suite.run_one(RunSpec {
         app: 0,
         kind: o.optimized_kind(),
@@ -491,14 +416,14 @@ fn cmd_trace(app: App, o: &Options) -> ExitCode {
         Ok(k) => k,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(USAGE);
         }
     };
     if let Err(e) = std::fs::create_dir_all(&o.out) {
         eprintln!("error: creating {}: {e}", o.out);
         return ExitCode::FAILURE;
     }
-    let suite = o.suite(vec![app]);
+    let suite = suite(o, vec![app]);
     let specs: Vec<RunSpec> = kinds.iter().map(|&kind| RunSpec { app: 0, kind }).collect();
     let obs = ObsConfig {
         record_spans: true,
@@ -585,7 +510,7 @@ fn resolve_plan(
 
 fn cmd_faults(app: App, o: &Options) -> ExitCode {
     let name = app.name().to_string();
-    let suite = o.suite(vec![app]);
+    let suite = suite(o, vec![app]);
     let topo = fault_topo(suite.sim());
     let kinds = [o.baseline_kind(), o.optimized_kind()];
     // Clean runs first: they are half the comparison, and their length
@@ -651,7 +576,7 @@ fn cmd_faults(app: App, o: &Options) -> ExitCode {
 fn cmd_trace_validate(files: &[String]) -> ExitCode {
     if files.is_empty() {
         eprintln!("usage: hoploc trace-validate <trace.json...>");
-        return ExitCode::FAILURE;
+        return ExitCode::from(USAGE);
     }
     let mut ok = true;
     for path in files {
@@ -682,7 +607,7 @@ fn cmd_trace_validate(files: &[String]) -> ExitCode {
 }
 
 fn cmd_sweep(o: &Options) {
-    let suite = o.suite(all_apps(o.scale));
+    let suite = suite(o, all_apps(o.scale));
     let kinds = [o.baseline_kind(), o.optimized_kind()];
     let records = suite.run_full(&kinds, o.jobs);
     let napps = suite.apps().len();
@@ -718,15 +643,137 @@ fn cmd_sweep(o: &Options) {
     }
 }
 
+/// Watches stdin for drain requests: an explicit `drain` line always
+/// drains; EOF drains only at an interactive terminal (Ctrl-D), so a
+/// server backgrounded with `</dev/null` keeps serving.
+fn watch_stdin(core: Arc<hoploc::serve::Core>) {
+    use std::io::IsTerminal;
+    let stdin = std::io::stdin();
+    let interactive = stdin.is_terminal();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim() == "drain" {
+            core.drain();
+            return;
+        }
+    }
+    if interactive {
+        core.drain();
+    }
+}
+
+fn cmd_serve(o: &Options) -> ExitCode {
+    let engine = Arc::new(SuiteEngine::new(EngineCaps::default()));
+    let cfg = ServeConfig {
+        workers: o.workers,
+        queue_cap: o.queue_cap,
+        cache_cap: o.cache_cap,
+        job_timeout_ms: o.timeout_ms,
+        retry_after_ms: o.retry_after_ms,
+    };
+    let server = match Server::bind(o.addr.as_str(), engine, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", o.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "hoploc serve: listening on {addr} ({} workers, queue {}, cache {}, timeout {})",
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.cache_cap,
+        if cfg.job_timeout_ms == 0 {
+            "none".to_string()
+        } else {
+            format!("{} ms", cfg.job_timeout_ms)
+        }
+    );
+    println!("hoploc serve: send {{\"op\":\"drain\"}} or type `drain` to shut down");
+    let core = server.core();
+    std::thread::spawn(move || watch_stdin(core));
+    let summary = server.run();
+    if let Some(path) = &o.metrics_out {
+        if let Err(e) = std::fs::write(path, &summary.metrics) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("hoploc serve: metrics snapshot written to {path}");
+    }
+    println!(
+        "hoploc serve: drained — {} job(s) answered, {} simulation(s) executed",
+        summary.answered, summary.executed
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_load(o: &Options) -> ExitCode {
+    let cfg = LoadConfig {
+        clients: o.clients,
+        repeat: o.repeat,
+        scale: o.scale,
+        kinds: vec![o.baseline_kind(), o.optimized_kind()],
+        max_retries: o.max_retries,
+    };
+    println!(
+        "hoploc load: {} client(s) x ({} apps x {} kinds x {} repeat) against {}",
+        cfg.clients,
+        all_apps(cfg.scale).len(),
+        cfg.kinds.len(),
+        cfg.repeat,
+        o.addr
+    );
+    let report = match hoploc::serve::run_load(o.addr.as_str(), &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", render_report(&report));
+    if let Some(target) = &o.json {
+        if let Err(e) = emit_json(target, &report_json(&report)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if o.drain {
+        let drained = Client::connect(o.addr.as_str())
+            .map_err(|e| format!("connect: {e}"))
+            .and_then(|mut c| c.drain());
+        match drained {
+            Ok((answered, executed, _)) => println!(
+                "drain: server answered {answered} job(s), executed {executed} simulation(s)"
+            ),
+            Err(e) => {
+                eprintln!("error: drain: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.failed > 0 {
+        eprintln!("error: {} job(s) failed", report.failed);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
             "usage: hoploc <apps|compile <app>|check <app|all>|run <app>|links <app>|sweep\
-             |trace <app>|trace-validate <file...>|faults <app>> [options]"
+             |trace <app>|trace-validate <file...>|faults <app>|serve|load> [options]"
         );
         eprintln!("see the module docs (or README.md) for the option list");
-        ExitCode::FAILURE
+        ExitCode::from(USAGE)
     };
     let Some(cmd) = args.first().cloned() else {
         return usage();
@@ -734,15 +781,16 @@ fn main() -> ExitCode {
     if cmd == "trace-validate" {
         return cmd_trace_validate(&args[1..]);
     }
+    // Subcommands with a positional argument parse options after it.
     let rest_start = match cmd.as_str() {
         "compile" | "run" | "links" | "check" | "trace" | "faults" => 2,
         _ => 1,
     };
-    let opts = match Options::parse(&args[rest_start.min(args.len())..]) {
+    let opts = match parse(&cmd, &args[rest_start.min(args.len())..]) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(USAGE);
         }
     };
     match cmd.as_str() {
@@ -770,6 +818,8 @@ fn main() -> ExitCode {
             return cmd_check(target, &opts);
         }
         "sweep" => cmd_sweep(&opts),
+        "serve" => return cmd_serve(&opts),
+        "load" => return cmd_load(&opts),
         _ => return usage(),
     }
     ExitCode::SUCCESS

@@ -30,7 +30,12 @@
 //!   (app × run-kind) matrix across threads with bit-identical results;
 //! * [`check`] — the static verifier and lint pass (`hoploc check`):
 //!   layout legality, parallelization races, and affine bounds
-//!   diagnostics with stable `HLxxxx` codes.
+//!   diagnostics with stable `HLxxxx` codes;
+//! * [`serve`] — simulation-as-a-service (`hoploc serve` / `hoploc
+//!   load`): a std-only TCP job server with a bounded queue, explicit
+//!   backpressure, in-flight coalescing, a bounded LRU result cache keyed
+//!   by canonical job hash, per-job timeouts, and graceful drain — served
+//!   results are byte-identical to direct harness runs.
 //!
 //! See `examples/quickstart.rs` for the fastest way to run an optimized
 //! vs. baseline comparison, and `hoploc sweep --jobs N` for the parallel
@@ -47,5 +52,6 @@ pub use hoploc_layout as layout;
 pub use hoploc_mem as mem;
 pub use hoploc_noc as noc;
 pub use hoploc_obs as obs;
+pub use hoploc_serve as serve;
 pub use hoploc_sim as sim;
 pub use hoploc_workloads as workloads;
