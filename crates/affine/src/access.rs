@@ -96,6 +96,44 @@ impl AffineAccess {
     pub fn submatrix(&self, u: usize) -> IMat {
         self.matrix.drop_col(u)
     }
+
+    /// The inclusive per-subscript value range (image box) of this access
+    /// over an iteration box: subscript `d` ranges over
+    /// `[Σ min(a_dk·lo_k, a_dk·hi_k) + o_d, Σ max(a_dk·lo_k, a_dk·hi_k) + o_d]`.
+    ///
+    /// The box is exact for accesses whose subscripts each depend on a
+    /// single iterator (every access in the bundled suite) and an
+    /// over-approximation otherwise — interval arithmetic cannot see
+    /// correlations between iterators. This is the footprint query the
+    /// static locality estimator (`hoploc-est`) and the bounds lints build
+    /// on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges.len() != self.depth()`.
+    pub fn subscript_bounds(&self, ranges: &[(i64, i64)]) -> Vec<(i64, i64)> {
+        assert_eq!(ranges.len(), self.depth(), "one range per iterator");
+        (0..self.rank())
+            .map(|d| {
+                let (mut lo, mut hi) = (self.offset[d], self.offset[d]);
+                for (k, &(rlo, rhi)) in ranges.iter().enumerate() {
+                    let a = self.matrix[(d, k)];
+                    let (t0, t1) = (a.saturating_mul(rlo), a.saturating_mul(rhi));
+                    lo = lo.saturating_add(t0.min(t1));
+                    hi = hi.saturating_add(t0.max(t1));
+                }
+                (lo, hi)
+            })
+            .collect()
+    }
+
+    /// Whether any subscript of this access depends on iterator `k` —
+    /// i.e. column `k` of the access matrix is non-zero. References that do
+    /// *not* depend on the parallel iterator are broadcast: every core
+    /// touches the same elements.
+    pub fn depends_on(&self, k: usize) -> bool {
+        (0..self.rank()).any(|d| self.matrix[(d, k)] != 0)
+    }
 }
 
 impl fmt::Debug for AffineAccess {
@@ -166,6 +204,21 @@ mod tests {
         let u = IMat::from_rows(&[&[0, 1], &[1, 0]]);
         let t = acc.transformed(&u);
         assert_eq!(t.offset(), &IVec::new(vec![-1, 1]));
+    }
+
+    #[test]
+    fn subscript_bounds_are_the_image_box() {
+        // X[i0 - i1][2*i1 + 1] over i0 ∈ [0,9], i1 ∈ [−2,3].
+        let acc = AffineAccess::new(IMat::from_rows(&[&[1, -1], &[0, 2]]), IVec::new(vec![0, 1]));
+        let b = acc.subscript_bounds(&[(0, 9), (-2, 3)]);
+        assert_eq!(b, vec![(-3, 11), (-3, 7)]);
+    }
+
+    #[test]
+    fn depends_on_reads_matrix_columns() {
+        let acc = AffineAccess::new(IMat::from_rows(&[&[0, 1], &[0, 2]]), IVec::zeros(2));
+        assert!(!acc.depends_on(0), "column 0 is zero: broadcast over i0");
+        assert!(acc.depends_on(1));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! with a stable `HLxxxx` code, so tooling (CI gates, editors, trend
 //! dashboards) can match on codes rather than message text. Codes are
 //! grouped by analysis: `HL01xx` layout legality, `HL02xx` parallelization
-//! races, `HL03xx` bounds and overflow lints.
+//! races, `HL03xx` bounds and overflow lints, `HL10xx` static performance
+//! predictions (produced by the `hoploc-est` estimator, which depends on
+//! this crate — not the other way around).
 
 use std::fmt;
 use std::fmt::Write as _;
@@ -110,6 +112,21 @@ pub enum Code {
     EmptyIterationDomain,
     /// An index table is declared but never referenced.
     UnusedTable,
+    // ── HL10xx: static performance predictions (produced by hoploc-est) ─
+    /// A localized plan is predicted not to reduce off-chip hop distance
+    /// for a traffic-significant array (its slots sit no closer to the
+    /// requesting threads than uniform interleaving would).
+    PredictedPlanIneffective,
+    /// A localized plan concentrates a traffic-significant array's slots
+    /// on few controllers, so one MC queue is predicted to saturate.
+    PredictedMcImbalance,
+    /// The application's working set is predicted to stream through the
+    /// L2 (footprint ≫ capacity): off-chip traffic scales with accesses
+    /// and layout placement, not caching, dominates performance.
+    PredictedCapacityStreaming,
+    /// The prediction involves index-table references, where the static
+    /// model is a coarse approximation.
+    EstimateApproximate,
 }
 
 impl Code {
@@ -140,6 +157,10 @@ impl Code {
             Code::StrideOverflowRisk => "HL0309",
             Code::EmptyIterationDomain => "HL0310",
             Code::UnusedTable => "HL0311",
+            Code::PredictedPlanIneffective => "HL1001",
+            Code::PredictedMcImbalance => "HL1002",
+            Code::PredictedCapacityStreaming => "HL1003",
+            Code::EstimateApproximate => "HL1004",
         }
     }
 
@@ -164,12 +185,16 @@ impl Code {
             | Code::PossibleOutOfBounds
             | Code::TablePositionWraps
             | Code::DeadArray
-            | Code::StrideOverflowRisk => Severity::Warning,
+            | Code::StrideOverflowRisk
+            | Code::PredictedPlanIneffective
+            | Code::PredictedMcImbalance => Severity::Warning,
             Code::ArraySkipped
             | Code::HaloCarriedDependence
             | Code::IndexedSharing
             | Code::EmptyIterationDomain
-            | Code::UnusedTable => Severity::Note,
+            | Code::UnusedTable
+            | Code::PredictedCapacityStreaming
+            | Code::EstimateApproximate => Severity::Note,
         }
     }
 }

@@ -1,0 +1,246 @@
+//! The HL10xx *predicted-performance* diagnostics: static findings about
+//! what a layout plan will do to off-chip behaviour, produced without
+//! running the simulator.
+//!
+//! | Code   | Severity | Finding |
+//! |--------|----------|---------|
+//! | HL1001 | warning  | a localized plan is predicted not to reduce hop distance for a traffic-significant array |
+//! | HL1002 | warning  | a plan concentrates a traffic-significant array's slots on few controllers |
+//! | HL1003 | note     | the working set is predicted to stream through the L2 |
+//! | HL1004 | note     | the prediction involves index-table references (coarse model) |
+//!
+//! The low-level queries ([`check_array_plan`], [`array_plan_hops`],
+//! [`baseline_hops`]) take a bare [`ArrayLayout`] so tests can feed
+//! deliberately bad plans built with [`ArrayLayout::from_parts`] and
+//! prove each code fires; [`performance_diagnostics`] is the app-level
+//! pass `hoploc check` runs, which derives traffic shares from the
+//! footprint model and applies the significance gate.
+
+use hoploc_check::{Code, Diagnostic};
+use hoploc_layout::{ArrayLayout, ProgramLayout};
+use hoploc_noc::{L2ToMcMapping, NodeId};
+use hoploc_workloads::{App, RunKind};
+
+use crate::model::{estimate_app, EstConfig};
+
+/// An array's predicted traffic share below which plan-quality warnings
+/// stay quiet: a bad plan for 3% of the traffic is not worth a warning.
+pub const TRAFFIC_SIGNIFICANCE: f64 = 0.10;
+
+/// HL1001 fires when the plan's expected hop distance fails to undercut
+/// this fraction of the uniform-interleave baseline.
+pub const HOP_IMPROVEMENT_FLOOR: f64 = 0.95;
+
+/// HL1002 fires when one controller holds at least this share of the
+/// plan's slots.
+pub const MC_SHARE_CEILING: f64 = 0.5;
+
+/// Mean off-chip hop distance under uniform interleaving: every node
+/// equally likely to request, every controller equally likely to serve.
+pub fn baseline_hops(mapping: &L2ToMcMapping, num_nodes: usize) -> f64 {
+    let mesh = mapping.mesh();
+    let n_mcs = mapping.num_mcs();
+    let mut sum = 0.0;
+    for n in 0..num_nodes {
+        for m in 0..n_mcs {
+            let mc = hoploc_noc::McId(m as u16);
+            sum += mesh.hop_distance(NodeId(n as u16), mapping.mc_node(mc)) as f64;
+        }
+    }
+    sum / (num_nodes * n_mcs.max(1)) as f64
+}
+
+/// Expected hop distance of a localized plan: each thread's requests go
+/// to its group's slot controllers ([`ArrayLayout::thread_mcs`]),
+/// weighted per slot. `nodes[t]` is the mesh node thread `t` runs on.
+/// `None` for original layouts (nothing planned; traffic interleaves at
+/// [`baseline_hops`]).
+pub fn array_plan_hops(al: &ArrayLayout, nodes: &[NodeId], mapping: &L2ToMcMapping) -> Option<f64> {
+    let mesh = mapping.mesh();
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, &node) in nodes.iter().enumerate() {
+        let mcs = al.thread_mcs(t)?;
+        if mcs.is_empty() {
+            continue;
+        }
+        let d: f64 = mcs
+            .iter()
+            .map(|&mc| mesh.hop_distance(node, mapping.mc_node(mc)) as f64)
+            .sum::<f64>()
+            / mcs.len() as f64;
+        sum += d;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// The per-controller slot shares of a localized plan (`None` for
+/// original layouts).
+pub fn plan_mc_shares(al: &ArrayLayout, n_mcs: usize) -> Option<Vec<f64>> {
+    let v = al.plan_view()?;
+    let mut hist = vec![0.0; n_mcs];
+    let mut total = 0.0;
+    for slots in v.group_slots {
+        for &s in slots {
+            hist[(s % v.n_mcs) as usize] += 1.0;
+            total += 1.0;
+        }
+    }
+    if total == 0.0 {
+        return None;
+    }
+    for h in &mut hist {
+        *h /= total;
+    }
+    Some(hist)
+}
+
+/// Checks one array's localized plan against the hop and balance
+/// predictions. `traffic_share` is the array's fraction of the app's
+/// predicted off-chip traffic — warnings stay quiet below
+/// [`TRAFFIC_SIGNIFICANCE`]. Original layouts produce nothing (there is
+/// no plan to judge).
+pub fn check_array_plan(
+    app: &str,
+    array: &str,
+    al: &ArrayLayout,
+    nodes: &[NodeId],
+    mapping: &L2ToMcMapping,
+    traffic_share: f64,
+    label: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if al.is_original() || traffic_share < TRAFFIC_SIGNIFICANCE {
+        return out;
+    }
+    let base = baseline_hops(mapping, nodes.len().max(1));
+    if let Some(plan) = array_plan_hops(al, nodes, mapping) {
+        if plan > HOP_IMPROVEMENT_FLOOR * base {
+            out.push(
+                Diagnostic::new(
+                    Code::PredictedPlanIneffective,
+                    app,
+                    format!(
+                        "localized plan is predicted to average {plan:.2} hops per \
+                         off-chip request vs {base:.2} under uniform interleaving \
+                         ({:.0}% of predicted traffic)",
+                        traffic_share * 100.0
+                    ),
+                )
+                .with_config(label)
+                .on_array(array)
+                .with_help(
+                    "the slot assignment places this array's units no closer to their \
+                     owning threads than default interleaving; check the cluster map \
+                     and MC placement the plan was compiled against",
+                ),
+            );
+        }
+    }
+    if let Some(shares) = plan_mc_shares(al, mapping.num_mcs()) {
+        let (worst, share) = shares
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, &s)| (i, s))
+            .unwrap_or((0, 0.0));
+        if share >= MC_SHARE_CEILING {
+            out.push(
+                Diagnostic::new(
+                    Code::PredictedMcImbalance,
+                    app,
+                    format!(
+                        "localized plan routes {:.0}% of this array's slots to MC{worst} \
+                         ({:.0}% of predicted traffic); that controller's queue is \
+                         predicted to saturate",
+                        share * 100.0,
+                        traffic_share * 100.0
+                    ),
+                )
+                .with_config(label)
+                .on_array(array)
+                .with_help(
+                    "spread the group's slots across the cluster's controllers, or \
+                     revisit the super-group size so slot % n_mcs covers all of them",
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// The app-level predicted-performance pass `hoploc check` runs: derives
+/// per-array traffic shares from the footprint model, judges each
+/// optimized array's plan, and reports capacity streaming and
+/// approximation caveats.
+pub fn performance_diagnostics(
+    app: &App,
+    layout: &ProgramLayout,
+    mapping: &L2ToMcMapping,
+    cfg: &EstConfig,
+    label: &str,
+) -> Vec<Diagnostic> {
+    let est = estimate_app(app, layout, mapping, RunKind::Optimized, cfg);
+    let name = app.name();
+    let mut out = Vec::new();
+    let total: f64 = est
+        .arrays
+        .iter()
+        .map(|a| a.predicted_offchip as f64)
+        .sum::<f64>()
+        .max(1.0);
+    let binding = layout.binding();
+    let nodes: Vec<NodeId> = (0..binding.len() * cfg.threads_per_core)
+        .map(|t| binding.node_of(t / cfg.threads_per_core))
+        .collect();
+    for (i, decl) in app.program.arrays().iter().enumerate() {
+        let Some(a) = est.arrays.iter().find(|a| a.array == decl.name()) else {
+            continue;
+        };
+        let share = a.predicted_offchip as f64 / total;
+        out.extend(check_array_plan(
+            name,
+            decl.name(),
+            layout.layout(hoploc_affine::ArrayId(i)),
+            &nodes,
+            mapping,
+            share,
+            label,
+        ));
+    }
+    if est.streaming {
+        out.push(
+            Diagnostic::new(
+                Code::PredictedCapacityStreaming,
+                name,
+                format!(
+                    "predicted working set exceeds L2 capacity: {:.1}% of accesses \
+                     go off-chip; placement, not caching, governs performance",
+                    est.offchip_fraction() * 100.0
+                ),
+            )
+            .with_config(label),
+        );
+    }
+    if est.arrays.iter().any(|a| a.indexed) {
+        let names: Vec<&str> = est
+            .arrays
+            .iter()
+            .filter(|a| a.indexed)
+            .map(|a| a.array.as_str())
+            .collect();
+        out.push(
+            Diagnostic::new(
+                Code::EstimateApproximate,
+                name,
+                format!(
+                    "prediction uses the coarse index-table model for: {}",
+                    names.join(", ")
+                ),
+            )
+            .with_config(label),
+        );
+    }
+    out
+}

@@ -1,0 +1,1163 @@
+//! The footprint / traffic model: predicting off-chip behaviour of one
+//! (application, layout, run-kind) cell without simulation.
+//!
+//! ## Footprint model
+//!
+//! For each loop nest the estimator mirrors the trace generator's walk
+//! geometry exactly (strides, light-nest subsampling, hot-nest replay,
+//! block-distributed parallel chunks) and computes, for every *reuse
+//! level* `ℓ` (loops `< ℓ` pinned, loops `≥ ℓ` varying), the number of
+//! distinct L2 lines `L(ℓ)` each reference group touches:
+//!
+//! ```text
+//! L(depth) = span_lines(depth)                       (pinned iteration)
+//! L(ℓ)     = min(span_lines(ℓ), n_ℓ · L(ℓ+1))        (outer levels)
+//! ```
+//!
+//! where `span_lines(ℓ)` counts the lines overlapped by the union image
+//! box of the group's subscript functions ([`AffineAccess::subscript_bounds`])
+//! and `n_ℓ` is the walked trip count of loop `ℓ`. The `min` recurrence
+//! makes `L(ℓ) ≤ n_ℓ · L(ℓ+1)` by construction, which in turn makes the
+//! predicted miss count *non-increasing in L2 capacity* — the property
+//! test relies on this, not on numerical luck.
+//!
+//! The *fit level* `ℓ*` is the outermost level whose nest footprint fits
+//! the effective capacity (per-node L2 for private mode, the aggregate
+//! NUCA capacity for shared mode); every loop outside `ℓ*` re-streams the
+//! level-`ℓ*` working set, so the nest's off-chip demand is
+//! `L(ℓ*) · Π_{k<ℓ*} n_k` (times the replay count when even the full
+//! nest footprint exceeds capacity). References whose subscripts ignore
+//! the parallel iterator are *broadcast*: every core touches the same
+//! lines, the chip fetches them off-chip once (the directory or home
+//! bank serves the other cores), so they are counted once globally and
+//! the parallel loop contributes no multiplier.
+//!
+//! ## Hop expectation and queue pressure
+//!
+//! Off-chip demand is split across memory controllers statically: the
+//! layout plan's slot arithmetic ([`ArrayLayout::thread_mcs`]) for
+//! optimized arrays, uniform interleave for original layouts, the owner
+//! cluster's controllers for a friendly first-touch policy, the nearest
+//! controller under the optimal-placement idealization. The expected
+//! off-chip hop count weights each (requester, controller) pair with its
+//! mesh distance — the requester being the core's node for private L2s
+//! and the line's home tile for shared NUCA. Queue pressure is the
+//! maximum controller share normalized so `1.0` = perfectly balanced and
+//! `n_mcs` = everything on one controller.
+
+use std::collections::HashMap;
+
+use hoploc_affine::{AccessFn, AffineAccess, ArrayId, LoopNest, Program, RefKind};
+use hoploc_layout::{ArrayLayout, Granularity, L2Mode, ProgramLayout};
+use hoploc_noc::{L2ToMcMapping, NodeId};
+use hoploc_sim::SimConfig;
+use hoploc_workloads::{App, RunKind};
+
+/// The machine parameters the estimator needs — a small projection of
+/// [`SimConfig`] so predictions are comparable to a given simulation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EstConfig {
+    /// Per-node L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 line size in bytes (the off-chip transfer unit).
+    pub line_bytes: u64,
+    /// Last-level cache organization.
+    pub l2_mode: L2Mode,
+    /// Interleaving granularity of physical addresses across MCs.
+    pub granularity: Granularity,
+    /// Number of mesh nodes (cores / L2 tiles).
+    pub num_nodes: usize,
+    /// Number of memory controllers.
+    pub num_mcs: usize,
+    /// Threads per core (Figure 24).
+    pub threads_per_core: usize,
+}
+
+impl EstConfig {
+    /// Projects a simulator configuration onto the estimator's inputs.
+    pub fn from_sim(sim: &SimConfig) -> Self {
+        Self {
+            l2_bytes: sim.l2.size_bytes,
+            line_bytes: sim.l2.line_bytes,
+            l2_mode: sim.l2_mode,
+            granularity: sim.granularity,
+            num_nodes: sim.num_nodes(),
+            num_mcs: sim.num_mcs(),
+            threads_per_core: 1,
+        }
+    }
+
+    /// Builder-style threads-per-core override.
+    pub fn with_threads_per_core(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread per core");
+        self.threads_per_core = threads;
+        self
+    }
+
+    /// The capacity a working set is measured against: the per-node L2
+    /// for private mode, the whole NUCA for shared mode.
+    fn effective_capacity(&self) -> u64 {
+        match self.l2_mode {
+            L2Mode::Private => self.l2_bytes,
+            L2Mode::Shared => self.l2_bytes * self.num_nodes as u64,
+        }
+    }
+}
+
+/// Prediction for one reference (nest, statement, reference coordinates
+/// match the diagnostics' locations).
+#[derive(Clone, Debug)]
+pub struct RefEstimate {
+    /// Nest index within the program.
+    pub nest: usize,
+    /// Statement index within the nest.
+    pub statement: usize,
+    /// Reference index within the statement.
+    pub reference: usize,
+    /// The referenced array's name.
+    pub array: String,
+    /// Accesses this reference issues (mirrors the trace walk).
+    pub accesses: u64,
+    /// Predicted off-chip line fetches attributed to this reference.
+    pub predicted_offchip: u64,
+    /// Whether the subscripts ignore the parallel iterator (all cores
+    /// touch the same elements).
+    pub broadcast: bool,
+    /// Whether the reference goes through an index table (the prediction
+    /// is a coarser approximation there).
+    pub indexed: bool,
+}
+
+/// Prediction for one array, aggregated over all its references.
+#[derive(Clone, Debug)]
+pub struct ArrayEstimate {
+    /// The array's name.
+    pub array: String,
+    /// Accesses to the array across all nests.
+    pub accesses: u64,
+    /// Predicted off-chip line fetches.
+    pub predicted_offchip: u64,
+    /// Predicted mean off-chip request hop distance for this array's
+    /// traffic (`None` when the array generates no off-chip traffic).
+    pub avg_hops: Option<f64>,
+    /// Whether any reference to the array is broadcast.
+    pub broadcast: bool,
+    /// Whether any reference is indexed (estimate approximate).
+    pub indexed: bool,
+}
+
+/// The full static prediction for one (application, layout, kind) cell.
+#[derive(Clone, Debug)]
+pub struct AppEstimate {
+    /// Application name.
+    pub app: String,
+    /// The run kind predicted.
+    pub kind: RunKind,
+    /// Total accesses (exact mirror of the generated trace volume).
+    pub total_accesses: u64,
+    /// Predicted off-chip line fetches.
+    pub predicted_offchip: u64,
+    /// Predicted mean off-chip request hop distance.
+    pub avg_offchip_hops: f64,
+    /// Predicted per-MC traffic shares (sum to 1 when there is traffic).
+    pub mc_shares: Vec<f64>,
+    /// Max MC share × number of MCs: 1.0 = balanced, `n_mcs` = one
+    /// controller takes everything.
+    pub queue_pressure: f64,
+    /// Whether the app streams (its working set exceeds capacity, so
+    /// off-chip traffic scales with accesses rather than footprint).
+    pub streaming: bool,
+    /// Per-array breakdown.
+    pub arrays: Vec<ArrayEstimate>,
+    /// Per-reference breakdown.
+    pub refs: Vec<RefEstimate>,
+}
+
+impl AppEstimate {
+    /// Predicted off-chip fraction.
+    pub fn offchip_fraction(&self) -> f64 {
+        if self.total_accesses == 0 {
+            return 0.0;
+        }
+        self.predicted_offchip as f64 / self.total_accesses as f64
+    }
+}
+
+/// Number of `line`-byte lines overlapped by an element box (inclusive
+/// per-dimension bounds, row-major, already clamped into the array).
+/// Trailing fully-covered dimensions merge into contiguous runs.
+fn lines_in_box(dims: &[i64], lo: &[i64], hi: &[i64], elem: u64, line: u64) -> u64 {
+    let rank = dims.len();
+    let mut w = vec![0i64; rank];
+    for d in 0..rank {
+        if hi[d] < lo[d] {
+            return 0;
+        }
+        w[d] = hi[d] - lo[d] + 1;
+    }
+    // The contiguous run: the fastest dimension's width, extended outward
+    // while a dimension is fully covered.
+    let mut run: i128 = 1;
+    let mut d = rank;
+    while d > 0 {
+        d -= 1;
+        run *= w[d] as i128;
+        if w[d] != dims[d] {
+            break;
+        }
+    }
+    let rows: i128 = w[..d].iter().map(|&x| x as i128).product();
+    let run_bytes = run * elem as i128;
+    let lines_per_run = (run_bytes + line as i128 - 1) / line as i128;
+    let by_rows = rows * lines_per_run;
+    // Rows shorter than a line pack several to a line: cap by the
+    // row-major address span of the box.
+    let linearize = |pt: &[i64]| -> i128 {
+        let mut off = 0i128;
+        for d in 0..rank {
+            off = off * dims[d] as i128 + pt[d] as i128;
+        }
+        off
+    };
+    let lo_byte = linearize(lo) * elem as i128;
+    let hi_byte = (linearize(hi) + 1) * elem as i128 - 1;
+    let by_span = hi_byte / line as i128 - lo_byte / line as i128 + 1;
+    by_rows.min(by_span).clamp(0, u64::MAX as i128) as u64
+}
+
+/// The union image box of a group of same-matrix accesses over an
+/// iteration box, clamped into the array, rendered as distinct lines.
+fn span_lines(
+    accs: &[&AffineAccess],
+    dims: &[i64],
+    elem: u64,
+    line: u64,
+    ranges: &[(i64, i64)],
+) -> u64 {
+    let rank = dims.len();
+    let mut lo = vec![i64::MAX; rank];
+    let mut hi = vec![i64::MIN; rank];
+    for a in accs {
+        let b = a.subscript_bounds(ranges);
+        for d in 0..rank {
+            lo[d] = lo[d].min(b[d].0);
+            hi[d] = hi[d].max(b[d].1);
+        }
+    }
+    for d in 0..rank {
+        lo[d] = lo[d].clamp(0, dims[d] - 1);
+        hi[d] = hi[d].clamp(0, dims[d] - 1);
+    }
+    lines_in_box(dims, &lo, &hi, elem, line)
+}
+
+/// Walked trip counts and walk geometry of one nest for one thread,
+/// mirroring `generate_traces`.
+struct Walk {
+    /// Inclusive iterator ranges, with the parallel dimension restricted
+    /// to the thread's chunk (or the full range for the global walk).
+    ranges: Vec<(i64, i64)>,
+    /// Midpoints used to pin loops outside the reuse level.
+    mids: Vec<i64>,
+    /// Walked iteration count per loop (after strides).
+    counts: Vec<u64>,
+}
+
+impl Walk {
+    /// Walked iterations of the whole nest.
+    fn points(&self) -> u64 {
+        self.counts.iter().product()
+    }
+
+    /// `Π_{k<lvl} counts[k]`, optionally treating the parallel loop as a
+    /// single iteration (broadcast accounting).
+    fn outer_mult(&self, lvl: usize, skip_par: Option<usize>) -> u64 {
+        self.counts[..lvl]
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| if Some(k) == skip_par { 1 } else { c })
+            .product()
+    }
+}
+
+/// The sampling strides `generate_traces` applies to one nest.
+fn mirror_strides(nest: &LoopNest, gen: &hoploc_workloads::TraceGen, light: bool) -> Vec<i64> {
+    let mut strides = vec![1i64; nest.depth()];
+    if let Some(last) = strides.last_mut() {
+        *last = gen.fastest_stride;
+    }
+    strides[nest.parallel_dim()] = 1;
+    if light {
+        let trips = nest.trip_count_estimates();
+        let mut remaining = gen.light_stride_factor.max(1);
+        for k in (0..nest.depth()).rev() {
+            if k == nest.parallel_dim() || remaining <= 1 {
+                continue;
+            }
+            let room = (trips[k] / strides[k]).max(1);
+            let take = remaining.min(room);
+            strides[k] *= take;
+            remaining = (remaining + take - 1) / take;
+        }
+    }
+    strides
+}
+
+/// Builds the walk geometry for `thread` (or the global walk when
+/// `thread` is `None`).
+fn walk_for(nest: &LoopNest, strides: &[i64], thread: Option<(usize, usize)>) -> Walk {
+    let mut ranges = nest.iteration_ranges();
+    let trips = nest.trip_count_estimates();
+    let par = nest.parallel_dim();
+    if let Some((t, n_threads)) = thread {
+        let (c_lo, c_hi) = nest.chunk_for_core(t, n_threads);
+        ranges[par] = (c_lo, c_hi - 1);
+    }
+    let mids: Vec<i64> = ranges
+        .iter()
+        .map(|&(lo, hi)| if lo > hi { lo } else { lo + (hi - lo) / 2 })
+        .collect();
+    let counts: Vec<u64> = (0..nest.depth())
+        .map(|k| {
+            let trip = if k == par {
+                (ranges[par].1 - ranges[par].0 + 1).max(0)
+            } else {
+                trips[k].max(0)
+            };
+            ((trip + strides[k] - 1) / strides[k]).max(0) as u64
+        })
+        .collect();
+    Walk {
+        ranges,
+        mids,
+        counts,
+    }
+}
+
+/// The `L(ℓ)` recurrence for one same-matrix group of accesses over one
+/// walk. `skip_par` treats the parallel loop as a single iteration
+/// (broadcast groups, whose boxes ignore it anyway).
+fn level_lines(
+    accs: &[&AffineAccess],
+    dims: &[i64],
+    elem: u64,
+    line: u64,
+    walk: &Walk,
+    skip_par: Option<usize>,
+) -> Vec<u64> {
+    let depth = walk.ranges.len();
+    let mut l = vec![0u64; depth + 1];
+    let mut prev = 0u64;
+    for lvl in (0..=depth).rev() {
+        let r: Vec<(i64, i64)> = (0..depth)
+            .map(|k| {
+                if k < lvl {
+                    (walk.mids[k], walk.mids[k])
+                } else {
+                    walk.ranges[k]
+                }
+            })
+            .collect();
+        // An empty chunk (thread past the parallel range) touches nothing.
+        if walk.counts.contains(&0) {
+            l[lvl] = 0;
+            continue;
+        }
+        let span = span_lines(accs, dims, elem, line, &r);
+        // Walked-point cap: heavy subsampling can touch fewer lines than
+        // the geometric span.
+        let pts: u64 = (lvl..depth)
+            .map(|k| {
+                if Some(k) == skip_par {
+                    1
+                } else {
+                    walk.counts[k]
+                }
+            })
+            .product::<u64>()
+            .saturating_mul(accs.len() as u64);
+        let val = if lvl == depth {
+            span.min(pts.max(1))
+        } else {
+            let mult = if Some(lvl) == skip_par {
+                1
+            } else {
+                walk.counts[lvl].max(1)
+            };
+            span.min(prev.saturating_mul(mult)).min(pts)
+        };
+        l[lvl] = val;
+        prev = val;
+    }
+    l
+}
+
+/// A same-matrix group of affine references to one array in one nest.
+struct RefGroup {
+    /// `(statement, reference)` coordinates of the members.
+    members: Vec<(usize, usize)>,
+    accesses: Vec<AffineAccess>,
+}
+
+/// Everything the model computed for one (nest, array) pair.
+struct NestArray {
+    array: ArrayId,
+    part_groups: Vec<RefGroup>,
+    bcast_groups: Vec<RefGroup>,
+    /// `(statement, reference)` coordinates of indexed refs.
+    indexed: Vec<(usize, usize)>,
+}
+
+/// Distinct L2 lines named by a profiled table over a 1-D array.
+fn table_lines(table: &[i64], extent: i64, elem: u64, line: u64) -> u64 {
+    let per_line = (line / elem).max(1) as i64;
+    let n_lines = ((extent + per_line - 1) / per_line).max(1) as usize;
+    let mut seen = vec![false; n_lines];
+    let mut count = 0u64;
+    for &v in table {
+        let l = (v.clamp(0, extent - 1) / per_line) as usize;
+        if !seen[l] {
+            seen[l] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Splits one nest's references into the model's groups.
+fn group_refs(program: &Program, nest: &LoopNest) -> Vec<NestArray> {
+    let par = nest.parallel_dim();
+    let mut order: Vec<ArrayId> = Vec::new();
+    let mut by_array: HashMap<ArrayId, NestArray> = HashMap::new();
+    for (si, stmt) in nest.body().iter().enumerate() {
+        for (ri, r) in stmt.refs.iter().enumerate() {
+            let entry = by_array.entry(r.array).or_insert_with(|| {
+                order.push(r.array);
+                NestArray {
+                    array: r.array,
+                    part_groups: Vec::new(),
+                    bcast_groups: Vec::new(),
+                    indexed: Vec::new(),
+                }
+            });
+            match &r.access {
+                AccessFn::Affine(a) => {
+                    let groups = if a.depends_on(par) {
+                        &mut entry.part_groups
+                    } else {
+                        &mut entry.bcast_groups
+                    };
+                    match groups
+                        .iter_mut()
+                        .find(|g| g.accesses[0].matrix() == a.matrix())
+                    {
+                        Some(g) => {
+                            g.members.push((si, ri));
+                            g.accesses.push(a.clone());
+                        }
+                        None => groups.push(RefGroup {
+                            members: vec![(si, ri)],
+                            accesses: vec![a.clone()],
+                        }),
+                    }
+                }
+                AccessFn::Indexed { table, .. } => {
+                    if program.table(*table).is_empty() {
+                        continue;
+                    }
+                    entry.indexed.push((si, ri));
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|a| by_array.remove(&a).unwrap())
+        .collect()
+}
+
+/// Traffic accumulator: per-MC line counts plus hop-weighted volume.
+struct Traffic {
+    per_mc: Vec<f64>,
+    hops: f64,
+    volume: f64,
+}
+
+impl Traffic {
+    fn new(n_mcs: usize) -> Self {
+        Self {
+            per_mc: vec![0.0; n_mcs],
+            hops: 0.0,
+            volume: 0.0,
+        }
+    }
+
+    fn merge(&mut self, other: &Traffic) {
+        for (a, b) in self.per_mc.iter_mut().zip(&other.per_mc) {
+            *a += b;
+        }
+        self.hops += other.hops;
+        self.volume += other.volume;
+    }
+
+    fn avg_hops(&self) -> Option<f64> {
+        (self.volume > 0.0).then(|| self.hops / self.volume)
+    }
+}
+
+/// Where an off-chip request is issued from.
+#[derive(Clone, Copy)]
+enum Requester {
+    /// A specific node (private-L2 core, or a shared-L2 home tile).
+    Node(NodeId),
+    /// Uniformly spread over all nodes.
+    Uniform,
+}
+
+/// Splits `misses` lines of off-chip traffic for `thread`'s share of one
+/// array across controllers, weighting hops by requester distance.
+#[allow(clippy::too_many_arguments)]
+fn route(
+    acc: &mut Traffic,
+    misses: f64,
+    requester: Requester,
+    al: &ArrayLayout,
+    thread: Option<usize>,
+    kind: RunKind,
+    mapping: &L2ToMcMapping,
+    cfg: &EstConfig,
+    first_touch_friendly: bool,
+) {
+    if misses <= 0.0 {
+        return;
+    }
+    acc.volume += misses;
+    let mesh = mapping.mesh();
+    let n_nodes = cfg.num_nodes;
+    let hop_to = |mc: hoploc_noc::McId| -> f64 {
+        let mn = mapping.mc_node(mc);
+        match requester {
+            Requester::Node(n) => mesh.hop_distance(n, mn) as f64,
+            Requester::Uniform => {
+                (0..n_nodes)
+                    .map(|i| mesh.hop_distance(NodeId(i as u16), mn) as f64)
+                    .sum::<f64>()
+                    / n_nodes as f64
+            }
+        }
+    };
+    let mut add = |mc: hoploc_noc::McId, w: f64| {
+        acc.per_mc[mc.0 as usize] += w;
+        acc.hops += w * hop_to(mc);
+    };
+    match kind {
+        RunKind::Optimal => match requester {
+            // The optimal idealization sends every request to the
+            // requester's nearest controller.
+            Requester::Node(n) => add(mapping.nearest_mc(n), misses),
+            Requester::Uniform => {
+                let w = misses / n_nodes as f64;
+                for i in 0..n_nodes {
+                    let n = NodeId(i as u16);
+                    let mc = mapping.nearest_mc(n);
+                    acc.per_mc[mc.0 as usize] += w;
+                    acc.hops += w * mesh.hop_distance(n, mapping.mc_node(mc)) as f64;
+                }
+            }
+        },
+        RunKind::FirstTouch => {
+            // A friendly first touch lands each owner's pages on its
+            // cluster's controllers; a mismatched one scatters pages with
+            // no useful correlation to the requester — model as uniform.
+            let owner_mcs = if first_touch_friendly {
+                let owner = match thread {
+                    Some(t) => mapping.cluster_of(node_of_thread(al, t, cfg)),
+                    // Broadcast data is first touched by thread 0.
+                    None => mapping.cluster_of(node_of_thread(al, 0, cfg)),
+                };
+                Some(mapping.cluster_mcs(owner).to_vec())
+            } else {
+                None
+            };
+            match owner_mcs {
+                Some(mcs) if !mcs.is_empty() => {
+                    let w = misses / mcs.len() as f64;
+                    for mc in mcs {
+                        add(mc, w);
+                    }
+                }
+                _ => {
+                    let w = misses / cfg.num_mcs as f64;
+                    for m in 0..cfg.num_mcs {
+                        add(hoploc_noc::McId(m as u16), w);
+                    }
+                }
+            }
+        }
+        RunKind::Baseline | RunKind::Optimized => {
+            let mcs = thread.and_then(|t| al.thread_mcs(t));
+            match mcs {
+                // The localized plan pins the thread's units to its
+                // group's slots (one list entry per slot, so shared
+                // controllers weight correctly).
+                Some(mcs) if !mcs.is_empty() => {
+                    let w = misses / mcs.len() as f64;
+                    for mc in mcs {
+                        add(mc, w);
+                    }
+                }
+                // Original layouts (and broadcast traffic of localized
+                // ones) interleave uniformly.
+                _ => match plan_slot_histogram(al, cfg.num_mcs) {
+                    Some(hist) if thread.is_none() => {
+                        for (m, share) in hist.iter().enumerate() {
+                            add(hoploc_noc::McId(m as u16), misses * share);
+                        }
+                    }
+                    _ => {
+                        let w = misses / cfg.num_mcs as f64;
+                        for m in 0..cfg.num_mcs {
+                            add(hoploc_noc::McId(m as u16), w);
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// The per-MC share of a localized plan's slots (the static traffic
+/// split of data with no single owning thread).
+fn plan_slot_histogram(al: &ArrayLayout, n_mcs: usize) -> Option<Vec<f64>> {
+    let v = al.plan_view()?;
+    let mut hist = vec![0.0; n_mcs];
+    let mut total = 0.0;
+    for slots in v.group_slots {
+        for &s in slots {
+            hist[(s % v.n_mcs) as usize] += 1.0;
+            total += 1.0;
+        }
+    }
+    if total == 0.0 {
+        return None;
+    }
+    for h in &mut hist {
+        *h /= total;
+    }
+    Some(hist)
+}
+
+/// The mesh node thread `t` runs on (threads share cores under SMT).
+fn node_of_thread(_al: &ArrayLayout, t: usize, cfg: &EstConfig) -> NodeId {
+    NodeId((t / cfg.threads_per_core % cfg.num_nodes) as u16)
+}
+
+/// The off-chip *requester* for thread `t`'s share of array `al`: the
+/// core's node for private L2s; for shared NUCA, the home tile the
+/// localized plan pins the thread's lines to, when that is statically a
+/// single node (cache-line units, super-group commensurate with the
+/// mesh), else uniform.
+fn requester_for(al: &ArrayLayout, binding_node: NodeId, t: usize, cfg: &EstConfig) -> Requester {
+    match cfg.l2_mode {
+        L2Mode::Private => Requester::Node(binding_node),
+        L2Mode::Shared => {
+            if cfg.granularity == Granularity::CacheLine && al.unit_bytes() as u64 == cfg.line_bytes
+            {
+                if let Some(v) = al.plan_view() {
+                    if (v.n_slots_total as usize).is_multiple_of(cfg.num_nodes) {
+                        if let Some(g) = v.thread_group.get(t) {
+                            let slots = &v.group_slots[*g as usize];
+                            if slots.len() == 1 {
+                                return Requester::Node(NodeId(
+                                    (slots[0] as usize % cfg.num_nodes) as u16,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Requester::Uniform
+        }
+    }
+}
+
+/// One reference class during per-ref attribution: (member (statement,
+/// reference) coordinates, class accesses, class misses, broadcast?,
+/// indexed?).
+type RefClass<'a> = (&'a [(usize, usize)], u64, u64, bool, bool);
+
+/// Per-(nest, array) model output carried into aggregation.
+struct ComponentMisses {
+    nest: usize,
+    array: ArrayId,
+    /// Per-thread partitioned misses.
+    part: Vec<u64>,
+    /// Global broadcast misses.
+    bcast: u64,
+    /// Global indexed misses.
+    indexed: u64,
+    /// Accesses by class (partitioned affine, broadcast affine, indexed).
+    acc_part: u64,
+    acc_bcast: u64,
+    acc_indexed: u64,
+    /// Level-0 (whole-nest) footprints, for the app-fits cold pass:
+    /// per-thread partitioned lines, their all-thread union, and the
+    /// global broadcast + indexed lines.
+    l0_part: Vec<u64>,
+    l0_part_glob: u64,
+    l0_bcast: u64,
+    l0_idx: u64,
+    /// `(statement, reference)` members by class, for attribution.
+    part_members: Vec<(usize, usize)>,
+    bcast_members: Vec<(usize, usize)>,
+    idx_members: Vec<(usize, usize)>,
+    streaming: bool,
+}
+
+/// Predicts one (application, layout, kind) cell. The layout must be the
+/// one the corresponding simulation replays (take it from
+/// `Suite::layout_plan`), so prediction error can only come from the
+/// model, never from divergent inputs.
+pub fn estimate_app(
+    app: &App,
+    layout: &ProgramLayout,
+    mapping: &L2ToMcMapping,
+    kind: RunKind,
+    cfg: &EstConfig,
+) -> AppEstimate {
+    let program = &app.program;
+    let n_cores = layout.binding().len();
+    let n_threads = n_cores * cfg.threads_per_core;
+    let line = cfg.line_bytes;
+    let cap = cfg.effective_capacity();
+    let nests = program.nests();
+    let max_weight = nests.iter().map(|n| n.weight()).max().unwrap_or(1);
+
+    // ── Per-nest footprint model ───────────────────────────────────────
+    let mut components: Vec<ComponentMisses> = Vec::new();
+
+    for (ni, nest) in nests.iter().enumerate() {
+        let light = nest.weight().saturating_mul(8) < max_weight;
+        let strides = mirror_strides(nest, &app.gen, light);
+        let reps = if light { 1 } else { app.gen.hot_reps.max(1) } as u64;
+        let par = nest.parallel_dim();
+        let groups = group_refs(program, nest);
+        if groups.is_empty() {
+            continue;
+        }
+        let global_walk = walk_for(nest, &strides, None);
+        let thread_walks: Vec<Walk> = (0..n_threads)
+            .map(|t| walk_for(nest, &strides, Some((t, n_threads))))
+            .collect();
+
+        // Level line counts per (array, class).
+        struct NestArrayLines {
+            /// Per thread, per level.
+            part: Vec<Vec<u64>>,
+            /// Partitioned lines over the *global* walk (all threads'
+            /// chunks at once) — the union footprint, free of the halo
+            /// double-counting in `Σ_t part[t]`.
+            part_glob: u64,
+            /// Global, per level.
+            bcast: Vec<u64>,
+            indexed: u64,
+            array_lines: u64,
+        }
+        let depth = nest.depth();
+        let mut lines: Vec<NestArrayLines> = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let decl = program.array(g.array);
+            let dims = decl.dims();
+            let elem = decl.elem_size() as u64;
+            let array_lines = ((decl.size_bytes() as u64).saturating_add(line - 1) / line).max(1);
+            let sum_levels = |walk: &Walk, groups: &[RefGroup], skip: Option<usize>| -> Vec<u64> {
+                let mut tot = vec![0u64; depth + 1];
+                for grp in groups {
+                    let accs: Vec<&AffineAccess> = grp.accesses.iter().collect();
+                    let l = level_lines(&accs, dims, elem, line, walk, skip);
+                    for (t, v) in tot.iter_mut().zip(l) {
+                        *t = t.saturating_add(v).min(array_lines);
+                    }
+                }
+                tot
+            };
+            let part: Vec<Vec<u64>> = thread_walks
+                .iter()
+                .map(|w| sum_levels(w, &g.part_groups, None))
+                .collect();
+            let part_glob = sum_levels(&global_walk, &g.part_groups, None)[0];
+            let bcast = sum_levels(&global_walk, &g.bcast_groups, Some(par));
+            // Distinct target lines named by this array's index tables.
+            let indexed: u64 = nest
+                .body()
+                .iter()
+                .flat_map(|s| s.refs.iter())
+                .filter(|r| r.array == g.array)
+                .filter_map(|r| match &r.access {
+                    AccessFn::Indexed { table, .. } => {
+                        let tab = program.table(*table);
+                        (!tab.is_empty()).then(|| {
+                            table_lines(tab, decl.dims()[0], decl.elem_size() as u64, line)
+                        })
+                    }
+                    AccessFn::Affine(_) => None,
+                })
+                .sum::<u64>()
+                .min(array_lines);
+            lines.push(NestArrayLines {
+                part,
+                part_glob,
+                bcast,
+                indexed,
+                array_lines,
+            });
+        }
+
+        // Footprint at each level → fit levels.
+        // Private: each node holds its thread's partitioned lines plus a
+        // full copy of broadcast data; indexed table targets are shared,
+        // so each node holds roughly its 1/n slice.
+        // Shared: one aggregate capacity holds everything once.
+        let nf_at = |lvl: usize, t: usize| -> u64 {
+            let mut lines_total = 0u64;
+            for la in &lines {
+                let part = la.part[t][lvl];
+                let add = match cfg.l2_mode {
+                    L2Mode::Private => part
+                        .saturating_add(la.bcast[lvl])
+                        .saturating_add(la.indexed / n_threads as u64 + 1)
+                        .min(la.array_lines),
+                    L2Mode::Shared => part,
+                };
+                lines_total = lines_total.saturating_add(add);
+            }
+            lines_total.saturating_mul(line)
+        };
+        let nf_shared_at = |lvl: usize| -> u64 {
+            let mut lines_total = 0u64;
+            for la in &lines {
+                let mut a = la.bcast[lvl].saturating_add(la.indexed);
+                for t in 0..n_threads {
+                    a = a.saturating_add(la.part[t][lvl]);
+                }
+                lines_total = lines_total.saturating_add(a.min(la.array_lines));
+            }
+            lines_total.saturating_mul(line)
+        };
+        let fit_level = |nf: &dyn Fn(usize) -> u64| -> usize {
+            (0..=depth).find(|&l| nf(l) <= cap).unwrap_or(depth)
+        };
+        let fit_t: Vec<usize> = match cfg.l2_mode {
+            L2Mode::Private => (0..n_threads)
+                .map(|t| fit_level(&|l| nf_at(l, t)))
+                .collect(),
+            L2Mode::Shared => {
+                let l = fit_level(&|l| nf_shared_at(l));
+                vec![l; n_threads]
+            }
+        };
+        // Broadcast data is evicted when the most loaded node (private)
+        // or the aggregate (shared) overflows.
+        let fit_b = match cfg.l2_mode {
+            L2Mode::Private => {
+                fit_level(&|l| (0..n_threads).map(|t| nf_at(l, t)).max().unwrap_or(0))
+            }
+            L2Mode::Shared => fit_t[0],
+        };
+
+        for (g, la) in groups.iter().zip(&lines) {
+            let reps_of = |fits: bool| if fits { 1 } else { reps };
+            let mut part = vec![0u64; n_threads];
+            let mut acc_part = 0u64;
+            for t in 0..n_threads {
+                let lvl = fit_t[t];
+                let pts = thread_walks[t].points();
+                acc_part = acc_part.saturating_add(
+                    pts.saturating_mul(
+                        reps * g
+                            .part_groups
+                            .iter()
+                            .map(|p| p.members.len() as u64)
+                            .sum::<u64>(),
+                    ),
+                );
+                // Consecutive iterations of the loop just outside the fit
+                // level reuse whatever their spans share (a stencil's
+                // overlap is retained: its reuse distance is one ℓ*-level
+                // footprint, which fits by definition). Misses across
+                // that loop therefore collapse to the *distinct* lines at
+                // ℓ*−1, and only loops outside ℓ*−1 re-stream them. When
+                // spans are disjoint `L(ℓ*−1) = n·L(ℓ*)` and this is the
+                // plain re-streaming count.
+                let ml = lvl.saturating_sub(1);
+                part[t] = la.part[t][ml]
+                    .saturating_mul(thread_walks[t].outer_mult(ml, None))
+                    .saturating_mul(reps_of(lvl == 0));
+            }
+            let acc_bcast: u64 = (0..n_threads)
+                .map(|t| thread_walks[t].points())
+                .sum::<u64>()
+                .saturating_mul(
+                    reps * g
+                        .bcast_groups
+                        .iter()
+                        .map(|p| p.members.len() as u64)
+                        .sum::<u64>(),
+                );
+            let mb = fit_b.saturating_sub(1);
+            let bcast = la.bcast[mb]
+                .saturating_mul(global_walk.outer_mult(mb, Some(par)))
+                .saturating_mul(reps_of(fit_b == 0));
+            let acc_indexed: u64 = (0..n_threads)
+                .map(|t| thread_walks[t].points())
+                .sum::<u64>()
+                .saturating_mul(reps * g.indexed.len() as u64);
+            let indexed = la
+                .indexed
+                .saturating_mul(global_walk.outer_mult(mb, Some(par)))
+                .saturating_mul(reps_of(fit_b == 0))
+                .min(acc_indexed);
+            let streaming = fit_t.iter().any(|&l| l > 0) || fit_b > 0;
+            components.push(ComponentMisses {
+                nest: ni,
+                array: g.array,
+                part,
+                bcast,
+                indexed,
+                acc_part,
+                acc_bcast,
+                acc_indexed,
+                l0_part: (0..n_threads).map(|t| la.part[t][0]).collect(),
+                l0_part_glob: la.part_glob,
+                l0_bcast: la.bcast[0],
+                l0_idx: la.indexed,
+                part_members: g
+                    .part_groups
+                    .iter()
+                    .flat_map(|p| p.members.iter().copied())
+                    .collect(),
+                bcast_members: g
+                    .bcast_groups
+                    .iter()
+                    .flat_map(|p| p.members.iter().copied())
+                    .collect(),
+                idx_members: g.indexed.clone(),
+                streaming,
+            });
+        }
+    }
+
+    // ── App-level fit: when the whole working set fits, only cold misses
+    // remain. Each nest's cold contribution is the footprint it adds over
+    // what earlier nests already brought in (running coverage per array),
+    // so a subsampled init nest fetches its sparse sample and the first
+    // heavy nest fetches the rest — matching first-touch order in the
+    // trace. ───────────────────────────────────────────────────────────
+    // App-level footprint per array: max over nests of the level-0 lines.
+    let mut app_part: HashMap<ArrayId, Vec<u64>> = HashMap::new();
+    let mut app_part_glob: HashMap<ArrayId, u64> = HashMap::new();
+    let mut app_bcast: HashMap<ArrayId, u64> = HashMap::new();
+    for c in &components {
+        let p = app_part
+            .entry(c.array)
+            .or_insert_with(|| vec![0; n_threads]);
+        for (pt, &l0) in p.iter_mut().zip(&c.l0_part) {
+            *pt = (*pt).max(l0);
+        }
+        let g = app_part_glob.entry(c.array).or_insert(0);
+        *g = (*g).max(c.l0_part_glob);
+        let b = app_bcast.entry(c.array).or_insert(0);
+        *b = (*b).max(c.l0_bcast.saturating_add(c.l0_idx));
+    }
+    let app_fits = match cfg.l2_mode {
+        L2Mode::Private => (0..n_threads).all(|t| {
+            let lines_total: u64 = app_part
+                .iter()
+                .map(|(a, p)| p[t].saturating_add(*app_bcast.get(a).unwrap_or(&0)))
+                .sum();
+            lines_total.saturating_mul(line) <= cap
+        }),
+        L2Mode::Shared => {
+            let lines_total: u64 = app_part_glob
+                .iter()
+                .map(|(a, g)| g.saturating_add(*app_bcast.get(a).unwrap_or(&0)))
+                .sum();
+            lines_total.saturating_mul(line) <= cap
+        }
+    };
+    if app_fits {
+        let mut seen_part: HashMap<ArrayId, Vec<u64>> = HashMap::new();
+        let mut seen_glob: HashMap<ArrayId, u64> = HashMap::new();
+        let mut seen_bcast: HashMap<ArrayId, u64> = HashMap::new();
+        for c in components.iter_mut() {
+            c.streaming = false;
+            let seen = seen_part
+                .entry(c.array)
+                .or_insert_with(|| vec![0; n_threads]);
+            let mut sum_t = 0u64;
+            for (t, s) in seen.iter_mut().enumerate().take(n_threads) {
+                let contrib = c.l0_part[t].saturating_sub(*s);
+                *s = (*s).max(c.l0_part[t]);
+                c.part[t] = contrib;
+                sum_t = sum_t.saturating_add(contrib);
+            }
+            if cfg.l2_mode == L2Mode::Shared && sum_t > 0 {
+                // Shared NUCA fetches each line once chip-wide: rescale
+                // the per-thread split so its total is the union
+                // contribution, not the halo-duplicating per-thread sum.
+                let sg = seen_glob.entry(c.array).or_insert(0);
+                let contrib_glob = c.l0_part_glob.saturating_sub(*sg);
+                *sg = (*sg).max(c.l0_part_glob);
+                for t in 0..n_threads {
+                    c.part[t] = c.part[t] * contrib_glob / sum_t;
+                }
+            }
+            let sb = seen_bcast.entry(c.array).or_insert(0);
+            let l0b = c.l0_bcast.saturating_add(c.l0_idx);
+            let contrib = l0b.saturating_sub(*sb);
+            *sb = (*sb).max(l0b);
+            // Split the cold contribution between the nest's broadcast
+            // and indexed classes, favouring broadcast.
+            c.bcast = contrib.min(c.l0_bcast);
+            c.indexed = contrib.saturating_sub(c.bcast);
+        }
+    }
+
+    // ── Aggregate: totals, per-MC traffic, hops, per-ref attribution. ──
+    let mut traffic = Traffic::new(cfg.num_mcs);
+    let mut per_array: HashMap<ArrayId, (u64, u64, Traffic, bool, bool)> = HashMap::new();
+    let mut array_order: Vec<ArrayId> = Vec::new();
+    let mut refs_out: Vec<RefEstimate> = Vec::new();
+    let streaming = components.iter().any(|c| c.streaming);
+
+    for c in &components {
+        let al = layout.layout(c.array);
+        let decl = program.array(c.array);
+        let entry = per_array.entry(c.array).or_insert_with(|| {
+            array_order.push(c.array);
+            (0, 0, Traffic::new(cfg.num_mcs), false, false)
+        });
+        let mut comp_traffic = Traffic::new(cfg.num_mcs);
+        let part_total: u64 = c.part.iter().sum();
+        for (t, &m) in c.part.iter().enumerate() {
+            if m == 0 {
+                continue;
+            }
+            let node = layout.binding().node_of(t / cfg.threads_per_core);
+            let requester = requester_for(al, node, t, cfg);
+            route(
+                &mut comp_traffic,
+                m as f64,
+                requester,
+                al,
+                Some(t),
+                kind,
+                mapping,
+                cfg,
+                app.first_touch_friendly,
+            );
+        }
+        let global = (c.bcast + c.indexed) as f64;
+        if global > 0.0 {
+            route(
+                &mut comp_traffic,
+                global,
+                Requester::Uniform,
+                al,
+                None,
+                kind,
+                mapping,
+                cfg,
+                app.first_touch_friendly,
+            );
+        }
+        entry.0 += c.acc_part + c.acc_bcast + c.acc_indexed;
+        entry.1 += part_total + c.bcast + c.indexed;
+        entry.2.merge(&comp_traffic);
+        entry.3 |= c.acc_bcast > 0;
+        entry.4 |= c.acc_indexed > 0;
+        traffic.merge(&comp_traffic);
+
+        // Per-ref attribution: each class's misses split evenly over its
+        // member references (they share the walk geometry).
+        let classes: [RefClass; 3] = [
+            (&c.part_members, c.acc_part, part_total, false, false),
+            (&c.bcast_members, c.acc_bcast, c.bcast, true, false),
+            (&c.idx_members, c.acc_indexed, c.indexed, true, true),
+        ];
+        for (members, acc, miss, broadcast, indexed) in classes {
+            let n = members.len() as u64;
+            if n == 0 {
+                continue;
+            }
+            for (i, (si, ri)) in members.iter().enumerate() {
+                let extra = if (i as u64) < miss % n { 1 } else { 0 };
+                refs_out.push(RefEstimate {
+                    nest: c.nest,
+                    statement: *si,
+                    reference: *ri,
+                    array: decl.name().to_string(),
+                    accesses: acc / n + if (i as u64) < acc % n { 1 } else { 0 },
+                    predicted_offchip: miss / n + extra,
+                    broadcast,
+                    indexed,
+                });
+            }
+        }
+    }
+
+    let total_accesses: u64 = per_array.values().map(|v| v.0).sum();
+    let predicted_offchip: u64 = per_array.values().map(|v| v.1).sum();
+    let arrays: Vec<ArrayEstimate> = array_order
+        .iter()
+        .map(|a| {
+            let (acc, miss, tr, bc, idx) = &per_array[a];
+            ArrayEstimate {
+                array: program.array(*a).name().to_string(),
+                accesses: *acc,
+                predicted_offchip: *miss,
+                avg_hops: tr.avg_hops(),
+                broadcast: *bc,
+                indexed: *idx,
+            }
+        })
+        .collect();
+    let total_traffic: f64 = traffic.per_mc.iter().sum();
+    let mc_shares: Vec<f64> = if total_traffic > 0.0 {
+        traffic.per_mc.iter().map(|m| m / total_traffic).collect()
+    } else {
+        vec![0.0; cfg.num_mcs]
+    };
+    let queue_pressure = mc_shares.iter().fold(0.0f64, |m, &s| m.max(s)) * cfg.num_mcs as f64;
+    AppEstimate {
+        app: program.name().to_string(),
+        kind,
+        total_accesses,
+        predicted_offchip,
+        avg_offchip_hops: traffic.avg_hops().unwrap_or(0.0),
+        mc_shares,
+        queue_pressure,
+        streaming,
+        arrays,
+        refs: refs_out,
+    }
+}
+
+/// `RunKind::Write`-agnostic convenience: predicts with the layout the
+/// kind implies, compiled fresh (no suite cache) — used by the check
+/// integration and tests. Simulation paths should prefer
+/// `Suite::layout_plan` + [`estimate_app`] to share the plan object.
+pub fn estimate_app_fresh(
+    app: &App,
+    mapping: &L2ToMcMapping,
+    sim: &SimConfig,
+    kind: RunKind,
+) -> AppEstimate {
+    let layout = hoploc_workloads::layout_for(app, mapping, sim, kind);
+    let cfg = EstConfig::from_sim(sim);
+    estimate_app(app, &layout, mapping, kind, &cfg)
+}
+
+// Quiet an unused-variant lint: writes count like reads for off-chip
+// line-fetch purposes (write-allocate, writebacks modelled off).
+const _: RefKind = RefKind::Write;

@@ -1,0 +1,100 @@
+//! Rank statistics: Spearman correlation between predictions and ground
+//! truth.
+//!
+//! The estimator is validated on *rank order*, not absolute error: its
+//! job is to sort (app, kind, config) cells the same way the cycle
+//! simulator does, so it can steer the layout pass and triage work
+//! without ever running a simulation. Spearman's ρ — Pearson correlation
+//! over tie-averaged ranks — is exactly that metric.
+
+/// Tie-averaged ranks (1-based; equal values share the mean of the ranks
+/// they span, the standard midrank convention).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) hold the same value: midrank.
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation of two equal-length samples. Returns `0.0`
+/// when either sample is degenerate (fewer than two points, or constant —
+/// rank order is undefined there, and 0 is the conservative report).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must pair up");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (rx, ry) = (ranks(xs), ranks(ys));
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (a, b) in rx.iter().zip(&ry) {
+        num += (a - mean) * (b - mean);
+        dx += (a - mean) * (a - mean);
+        dy += (b - mean) * (b - mean);
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return 0.0;
+    }
+    num / (dx * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_agreement_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 40.0, 80.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversal_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_get_midranks() {
+        let r = ranks(&[5.0, 1.0, 5.0, 3.0]);
+        assert_eq!(r, vec![3.5, 1.0, 3.5, 2.0]);
+    }
+
+    #[test]
+    fn constant_sample_is_degenerate_zero() {
+        let xs = [2.0, 2.0, 2.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(spearman(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn invariant_under_monotone_rescaling() {
+        let xs = [0.3, 0.1, 0.9, 0.4];
+        let ys = [2.0, 1.0, 7.0, 3.0];
+        let scaled: Vec<f64> = xs.iter().map(|v| v * 1000.0 + 17.0).collect();
+        assert!((spearman(&xs, &ys) - spearman(&scaled, &ys)).abs() < 1e-12);
+    }
+}

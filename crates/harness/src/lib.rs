@@ -146,14 +146,22 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
             entry.last_used = now;
             entry.cell.clone()
         };
-        if cell.get().is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            // Counted as a miss even when another thread wins the race to
-            // initialize: this thread had to wait for the build either way.
+        // A miss is a build actually performed by this call; a lookup that
+        // waits out (or arrives after) another thread's build is a hit.
+        // Counting at the init closure keeps misses == builds even when
+        // concurrent lookups race on an uninitialized cell.
+        let mut built = false;
+        let value = cell
+            .get_or_init(|| {
+                built = true;
+                Arc::new(build())
+            })
+            .clone();
+        if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        let value = cell.get_or_init(|| Arc::new(build())).clone();
         if let Some(cap) = self.cap {
             self.evict_to(cap, &key);
         }
@@ -324,6 +332,16 @@ impl Suite {
             let workload = hoploc_workloads::generate_traces(&a.program, &layout, &space, &gen);
             TraceBundle { workload, desired }
         })
+    }
+
+    /// The compiled (or original) layout plan for one matrix cell, shared
+    /// through the suite's layout cache. This is the cross-validation entry
+    /// point the static estimator (`hoploc-est`) uses: predictions are made
+    /// from the *same* plan object the cycle simulation replays, so a
+    /// prediction/simulation mismatch can only come from the model, never
+    /// from divergent layout inputs.
+    pub fn layout_plan(&self, app: usize, kind: RunKind) -> Arc<hoploc_layout::ProgramLayout> {
+        self.layout(app, LayoutClass::of(kind))
     }
 
     /// Builds the simulator and workload for one matrix cell — the shared

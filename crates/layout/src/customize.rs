@@ -515,6 +515,31 @@ impl ArrayLayout {
         }
     }
 
+    /// The memory controllers serving thread `t`'s data under this layout:
+    /// the MCs of the slots assigned to the thread's owner group, one entry
+    /// per slot (so a controller holding two of the group's slots appears
+    /// twice — callers treating the list as a traffic split get the right
+    /// weights). `None` for the original layout, whose units interleave
+    /// uniformly across all controllers.
+    ///
+    /// This is the static traffic-split query the locality estimator
+    /// (`hoploc-est`) builds its hop-expectation and queue-pressure models
+    /// on.
+    pub fn thread_mcs(&self, thread: usize) -> Option<Vec<McId>> {
+        match &self.plan {
+            Plan::Original => None,
+            Plan::Localized(p) => {
+                let g = *p.thread_group.get(thread)? as usize;
+                Some(
+                    p.group_slots[g]
+                        .iter()
+                        .map(|&slot| McId((slot % p.n_mcs) as u16))
+                        .collect(),
+                )
+            }
+        }
+    }
+
     /// Transformed extents (after `U` and shifting).
     pub fn extents(&self) -> &[i64] {
         &self.extents

@@ -12,7 +12,8 @@
 //! The trait exists so tests can substitute slow or failing engines to
 //! exercise backpressure and timeout paths without real simulations.
 
-use crate::job::{FaultSpec, JobSpec};
+use crate::job::{FaultSpec, Fidelity, JobSpec};
+use hoploc_est::{est_record_json, estimate_app, EstConfig};
 use hoploc_fault::{FaultPlan, FaultRates};
 use hoploc_harness::{fault_topo, record_json, RunRecord, RunSpec, Suite};
 use hoploc_noc::{L2ToMcMapping, McPlacement};
@@ -157,6 +158,9 @@ impl Engine for SuiteEngine {
         if spec.threads == 0 {
             return Err("threads must be at least 1".into());
         }
+        if spec.fidelity == Fidelity::Est && spec.faults != FaultSpec::None {
+            return Err("fault injection needs cycle fidelity (the estimator is static)".into());
+        }
         if let FaultSpec::Plan(plan) = &spec.faults {
             let sim = Self::sim_for(spec);
             plan.validate(&fault_topo(&sim))
@@ -176,6 +180,20 @@ impl Engine for SuiteEngine {
             app: app_idx,
             kind: spec.kind,
         };
+        if spec.fidelity == Fidelity::Est {
+            // Same compiled plan the cycle tier would replay, so the two
+            // tiers disagree only by model, never by input.
+            let plan = suite.layout_plan(run.app, run.kind);
+            let cfg = EstConfig::from_sim(suite.sim()).with_threads_per_core(spec.threads.max(1));
+            let est = estimate_app(
+                &suite.apps()[run.app],
+                &plan,
+                suite.mapping(),
+                run.kind,
+                &cfg,
+            );
+            return Ok(est_record_json(&est));
+        }
         let stats = match Self::resolve_plan(spec, &suite)? {
             None => suite.run_one(run),
             Some(plan) => suite.run_one_faulted(run, &plan),
@@ -233,6 +251,31 @@ mod tests {
             }),
         });
         assert_eq!(served, direct, "served bytes must equal direct run bytes");
+    }
+
+    #[test]
+    fn est_fidelity_serves_the_estimator_record() {
+        let eng = SuiteEngine::new(EngineCaps::default());
+        let mut s = spec("swim");
+        s.fidelity = Fidelity::Est;
+        let served = eng.run(&s).unwrap();
+        assert!(served.contains("\"fidelity\": \"est\""), "{served}");
+        assert!(served.contains("\"offchip_fraction\""), "{served}");
+        // Deterministic, and a different answer (and key) than the cycle
+        // tier for the same cell.
+        assert_eq!(served, eng.run(&s).unwrap());
+        assert_ne!(s.key(), spec("swim").key());
+        assert_ne!(served, eng.run(&spec("swim")).unwrap());
+    }
+
+    #[test]
+    fn est_fidelity_rejects_fault_injection() {
+        let eng = SuiteEngine::new(EngineCaps::default());
+        let mut s = spec("swim");
+        s.fidelity = Fidelity::Est;
+        s.faults = FaultSpec::Seed(3);
+        let err = eng.validate(&s).unwrap_err();
+        assert!(err.contains("cycle fidelity"), "{err}");
     }
 
     #[test]

@@ -36,6 +36,35 @@ impl FaultSpec {
     }
 }
 
+/// How much machinery a job pays for its answer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fidelity {
+    /// Full cycle simulation (the default; what every pre-fidelity client
+    /// implicitly asked for).
+    Cycle,
+    /// The static estimator (`hoploc-est`): microseconds instead of
+    /// seconds, rank-faithful rather than cycle-accurate. Sweeps triage
+    /// here and pay for cycle simulation only on the short list.
+    Est,
+}
+
+/// Stable wire name of a fidelity tier.
+pub fn fidelity_name(f: Fidelity) -> &'static str {
+    match f {
+        Fidelity::Cycle => "cycle",
+        Fidelity::Est => "est",
+    }
+}
+
+/// Parses a fidelity wire name.
+pub fn parse_fidelity(s: &str) -> Result<Fidelity, String> {
+    match s {
+        "cycle" => Ok(Fidelity::Cycle),
+        "est" => Ok(Fidelity::Est),
+        other => Err(format!("unknown fidelity {other:?} (use cycle or est)")),
+    }
+}
+
 /// One job: a fully specified simulation request.
 #[derive(Clone, PartialEq, Debug)]
 pub struct JobSpec {
@@ -55,6 +84,8 @@ pub struct JobSpec {
     pub threads: usize,
     /// Fault injection request.
     pub faults: FaultSpec,
+    /// Answer tier: cycle simulation or the static estimator.
+    pub fidelity: Fidelity,
 }
 
 impl Default for JobSpec {
@@ -68,6 +99,7 @@ impl Default for JobSpec {
             m2: false,
             threads: 1,
             faults: FaultSpec::None,
+            fidelity: Fidelity::Cycle,
         }
     }
 }
@@ -95,8 +127,13 @@ impl JobSpec {
     /// names. Parsing a submission from JSON with its fields in *any*
     /// order lands here identically, which is what makes the job hash
     /// stable under field reordering (asserted by the property suite).
+    ///
+    /// The `fidelity` suffix appears only for non-default tiers, so every
+    /// key minted before the field existed — cached results, coalescing
+    /// entries, client logs — stays byte-for-byte stable (asserted by the
+    /// property suite).
     pub fn canon(&self) -> String {
-        format!(
+        let mut s = format!(
             "app={};kind={};scale={};gran={};l2={};map={};threads={};faults={}",
             self.app,
             kind_name(self.kind),
@@ -106,7 +143,12 @@ impl JobSpec {
             if self.m2 { "m2" } else { "m1" },
             self.threads,
             self.faults.canon(),
-        )
+        );
+        if self.fidelity != Fidelity::Cycle {
+            s.push_str(";fidelity=");
+            s.push_str(fidelity_name(self.fidelity));
+        }
+        s
     }
 
     /// The canonical key of this spec.
@@ -247,6 +289,21 @@ mod tests {
         let mut c = a.clone();
         c.threads = 2;
         assert_ne!(a.config_canon(), c.config_canon());
+    }
+
+    #[test]
+    fn default_fidelity_keeps_pre_fidelity_keys_byte_stable() {
+        let a = spec();
+        assert_eq!(
+            a.canon(),
+            "app=swim;kind=optimized;scale=test;gran=cacheline;l2=private;\
+             map=m1;threads=1;faults=none",
+            "cycle-fidelity canon must not mention fidelity at all"
+        );
+        let mut b = a.clone();
+        b.fidelity = Fidelity::Est;
+        assert!(b.canon().ends_with(";fidelity=est"));
+        assert_ne!(a.key(), b.key(), "tiers must cache separately");
     }
 
     #[test]

@@ -12,8 +12,15 @@
 //! in-flight job **coalesce** onto the same job id (one simulation, many
 //! answers), and finished results land in a bounded LRU **cache** keyed by
 //! the [canonical job key](job::JobSpec::canon) (application, run kind,
-//! simulator configuration, fault plan, seed). `drain` stops admission,
-//! answers every accepted job, snapshots metrics, and shuts down cleanly.
+//! simulator configuration, fault plan, seed, fidelity tier). `drain`
+//! stops admission, answers every accepted job, snapshots metrics, and
+//! shuts down cleanly.
+//!
+//! Jobs carry a [`Fidelity`] tier: `cycle` (the default — full
+//! simulation) or `est` (the [`hoploc_est`] static estimator, answering
+//! in microseconds for design-space triage). The default tier's wire
+//! encoding and canonical key are byte-identical to pre-fidelity clients',
+//! so old caches and logs stay valid.
 //!
 //! The crate splits along the obvious seams:
 //!
@@ -47,7 +54,7 @@ pub mod wire;
 pub use cache::LruCache;
 pub use client::Client;
 pub use engine::{Engine, EngineCaps, SuiteEngine};
-pub use job::{FaultSpec, JobKey, JobSpec};
+pub use job::{FaultSpec, Fidelity, JobKey, JobSpec};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use metrics::{Ctr, ServeMetrics};
 pub use server::{Core, DrainSummary, ServeConfig, Server};

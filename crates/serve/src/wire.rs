@@ -13,8 +13,8 @@
 //! property the end-to-end suite asserts literally.
 
 use crate::job::{
-    granularity_name, l2_name, parse_granularity, parse_kind, parse_l2, parse_scale, scale_name,
-    FaultSpec, JobSpec,
+    fidelity_name, granularity_name, l2_name, parse_fidelity, parse_granularity, parse_kind,
+    parse_l2, parse_scale, scale_name, FaultSpec, Fidelity, JobSpec,
 };
 use hoploc_fault::FaultPlan;
 use hoploc_harness::kind_name;
@@ -177,6 +177,10 @@ pub fn encode_job(spec: &JobSpec) -> String {
             let _ = write!(s, ",\"fault_plan\":{}", json_string(&plan.render()));
         }
     }
+    // Default-tier requests stay byte-identical to pre-fidelity clients'.
+    if spec.fidelity != Fidelity::Cycle {
+        let _ = write!(s, ",\"fidelity\":\"{}\"", fidelity_name(spec.fidelity));
+    }
     s.push('}');
     s
 }
@@ -236,6 +240,9 @@ pub fn parse_job(v: &JsonValue) -> Result<JobSpec, String> {
             "fault_plan" => {
                 let text = val.as_str().ok_or("fault_plan must be a string")?;
                 fault_plan = Some(FaultPlan::parse(text).map_err(|e| format!("fault_plan: {e}"))?);
+            }
+            "fidelity" => {
+                spec.fidelity = parse_fidelity(val.as_str().ok_or("fidelity must be a string")?)?;
             }
             other => return Err(format!("unknown job field {other:?}")),
         }
@@ -504,6 +511,22 @@ mod tests {
             let line = encode_request(&req);
             assert_eq!(parse_request(&line).unwrap(), req, "{line}");
         }
+    }
+
+    #[test]
+    fn fidelity_round_trips_and_default_is_absent_from_the_wire() {
+        let mut s = spec();
+        s.fidelity = Fidelity::Est;
+        let line = encode_request(&Request::Submit(s.clone()));
+        assert!(line.contains("\"fidelity\":\"est\""), "{line}");
+        assert_eq!(parse_request(&line).unwrap(), Request::Submit(s));
+        let line = encode_request(&Request::Submit(spec()));
+        assert!(!line.contains("fidelity"), "{line}");
+        let err = parse_request(
+            r#"{"op":"submit","job":{"app":"a","kind":"baseline","fidelity":"rtl"}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("fidelity"), "{err}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use hoploc_serve::wire::{
     encode_job, encode_request, encode_response, parse_request, parse_response, Request, Response,
     SubmitStatus,
 };
-use hoploc_serve::{FaultSpec, JobSpec};
+use hoploc_serve::{FaultSpec, Fidelity, JobSpec};
 use hoploc_workloads::{RunKind, Scale};
 
 const APPS: [&str; 6] = ["swim", "mgrid", "apsi", "cg", "mg", "equake"];
@@ -60,6 +60,11 @@ fn random_spec(rng: &mut SmallRng) -> JobSpec {
         m2: rng.flip(),
         threads: rng.usize_in(1..5),
         faults,
+        fidelity: if rng.flip() {
+            Fidelity::Cycle
+        } else {
+            Fidelity::Est
+        },
     }
 }
 
@@ -83,6 +88,10 @@ fn shuffled_job_json(spec: &JobSpec, rng: &mut SmallRng) -> String {
             "\"fault_plan\":\"{}\"",
             p.render().replace('\\', "\\\\").replace('\n', "\\n")
         )),
+    }
+    // Mirror the encoder: the default tier is never written.
+    if spec.fidelity != Fidelity::Cycle {
+        fields.push("\"fidelity\":\"est\"".to_string());
     }
     // Fisher-Yates with the property rng.
     for i in (1..fields.len()).rev() {
@@ -108,6 +117,33 @@ fn job_key_is_stable_under_field_reordering() {
         assert_eq!(a, b, "field order must not change the parsed spec");
         assert_eq!(a.key(), spec.key(), "parse must round-trip the key");
         assert_eq!(a.key().hash, b.key().hash);
+    });
+}
+
+#[test]
+fn pre_fidelity_requests_parse_and_key_identically() {
+    // A request written by a client that predates the `fidelity` field
+    // (so: no such field at all) must parse to the default cycle tier and
+    // produce the exact key it always did — cached results and coalescing
+    // entries minted before the field existed stay hits.
+    run_cases("serve.key.prefidelity", 200, |rng| {
+        let mut spec = random_spec(rng);
+        spec.fidelity = Fidelity::Cycle;
+        let old_line = shuffled_job_json(&spec, rng);
+        assert!(
+            !old_line.contains("fidelity"),
+            "old-format request must not mention fidelity: {old_line}"
+        );
+        let Request::Submit(parsed) = parse_request(&old_line).expect("old format parses") else {
+            panic!("must parse as a submission");
+        };
+        assert_eq!(parsed, spec, "old format must land on the default tier");
+        assert_eq!(parsed.key(), spec.key());
+        assert!(
+            !parsed.canon().contains("fidelity"),
+            "default-tier canon must be byte-stable: {}",
+            parsed.canon()
+        );
     });
 }
 

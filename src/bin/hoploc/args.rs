@@ -119,6 +119,9 @@ pub fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
             v.extend(SIM);
             v.extend(["--jobs", "--json", "--deny"]);
         }
+        // `est` and `bench` sweep the full configuration matrix (or time
+        // every phase) themselves, so they take no per-config shape flags.
+        "est" | "bench" => v.extend(["--scale", "--jobs", "--json"]),
         "trace" => {
             v.extend(SIM);
             v.extend(["--jobs", "--config", "--out", "--epoch", "--span-cap"]);
@@ -326,6 +329,22 @@ mod tests {
         )
         .unwrap();
         assert_eq!((o.clients, o.repeat, o.drain), (8, 3, true));
+    }
+
+    #[test]
+    fn est_and_bench_flags_parse() {
+        for cmd in ["est", "bench"] {
+            let o = parse(
+                cmd,
+                &args(&["--scale", "test", "--jobs", "3", "--json", "-"]),
+            )
+            .unwrap();
+            assert_eq!(o.scale, Scale::Test);
+            assert_eq!(o.jobs, 3);
+            assert_eq!(o.json.as_deref(), Some("-"));
+            let err = parse(cmd, &args(&["--shared"])).unwrap_err();
+            assert!(err.contains(&format!("hoploc {cmd}")), "{err}");
+        }
     }
 
     #[test]

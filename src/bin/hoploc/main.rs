@@ -4,8 +4,16 @@
 //! hoploc apps                      list the modelled applications
 //! hoploc compile <app>             run the layout pass, print coverage + code
 //! hoploc check <app|all>           statically verify layouts, races, bounds
+//!                                  + predicted-performance findings (HL10xx)
+//! hoploc est <app|all> [options]   static off-chip prediction vs cycle-sim
+//!                                  ground truth: the full app x kind x
+//!                                  config matrix side by side, Spearman
+//!                                  rank correlation, self-timed speedup
 //! hoploc run <app> [options]       simulate baseline vs optimized
 //! hoploc sweep [options]           run the whole suite, one row per app
+//! hoploc bench [options]           time every pipeline phase (layout,
+//!                                  estimate, simulate) over the suite and
+//!                                  emit the wall-clock baseline JSON
 //! hoploc trace <app> [options]     simulate with full request-lifecycle
 //!                                  tracing; write Chrome-trace JSON
 //!                                  (Perfetto-loadable), a metrics snapshot,
@@ -84,6 +92,7 @@ use hoploc::affine::parallelization_is_legal;
 use hoploc::check::{
     check_layout, check_program, count, render_json, render_text, should_fail, CheckConfig,
 };
+use hoploc::est;
 use hoploc::fault::{FaultPlan, FaultRates};
 use hoploc::harness::{
     fault_topo, kind_name, parallel_map, render_table, to_json, RunRecord, RunSpec, Suite,
@@ -285,6 +294,18 @@ fn cmd_check(target: &str, o: &Options) -> ExitCode {
         for (label, pass) in &configs {
             let layout = optimize_program(&app.program, &mapping, *pass);
             d.extend(check_layout(&app.program, &layout, label, &cfg));
+            // Predicted-performance findings (HL10xx) from the static
+            // estimator, under the same configuration the legality checks
+            // just verified.
+            let esim = SimConfig {
+                granularity: pass.granularity,
+                l2_mode: pass.l2_mode,
+                ..SimConfig::scaled()
+            };
+            let ecfg = est::EstConfig::from_sim(&esim).with_threads_per_core(o.threads);
+            d.extend(est::performance_diagnostics(
+                app, &layout, &mapping, &ecfg, label,
+            ));
         }
         d
     })
@@ -313,6 +334,134 @@ fn cmd_check(target: &str, o: &Options) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn cmd_est(target: &str, o: &Options) -> ExitCode {
+    let apps = if target == "all" {
+        all_apps(o.scale)
+    } else {
+        match find_app(target, o.scale) {
+            Some(app) => vec![app],
+            None => {
+                eprintln!("unknown application {target}; try `hoploc apps` (or `est all`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    eprintln!(
+        "cross-validating {} app(s) x {} kind(s) x {} config(s) \
+         (the simulator pass is the slow half) ...",
+        apps.len(),
+        est::KINDS.len(),
+        est::standard_configs().len()
+    );
+    let report = est::cross_validate(&apps, o.jobs);
+    print!("{}", est::render_text(&report));
+    if let Some(target) = &o.json {
+        if let Err(e) = emit_json(target, &est::xval_json(&report)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One timed `hoploc bench` phase over the whole (app x kind) matrix.
+struct BenchPhase {
+    name: &'static str,
+    wall_ms: f64,
+}
+
+fn cmd_bench(o: &Options) -> ExitCode {
+    use std::time::Instant;
+    let suite = suite(o, all_apps(o.scale));
+    let specs: Vec<RunSpec> = (0..suite.apps().len())
+        .flat_map(|a| est::KINDS.iter().map(move |&kind| RunSpec { app: a, kind }))
+        .collect();
+    let total = Instant::now();
+    let mut phases = Vec::new();
+    let mut timed = |name: &'static str, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        phases.push(BenchPhase {
+            name,
+            wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        });
+    };
+    timed("layout", &mut || {
+        for s in &specs {
+            let _ = suite.layout_plan(s.app, s.kind);
+        }
+    });
+    let cfg = est::EstConfig::from_sim(suite.sim()).with_threads_per_core(o.threads);
+    let mut ests = Vec::new();
+    timed("estimate", &mut || {
+        ests = parallel_map(&specs, o.jobs, |s| {
+            let plan = suite.layout_plan(s.app, s.kind);
+            est::estimate_app(&suite.apps()[s.app], &plan, suite.mapping(), s.kind, &cfg)
+        });
+    });
+    let mut stats = Vec::new();
+    timed("simulate", &mut || {
+        stats = parallel_map(&specs, o.jobs, |s| suite.run_one(*s));
+    });
+    let total_ms = total.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "== hoploc bench: {} cells ({} apps x {} kinds), {} worker(s) ==",
+        specs.len(),
+        suite.apps().len(),
+        est::KINDS.len(),
+        o.jobs
+    );
+    println!("{:<10} {:>12}", "phase", "wall-clock");
+    for p in &phases {
+        println!("{:<10} {:>9.1} ms", p.name, p.wall_ms);
+    }
+    println!(
+        "{:<10} {:>9.1} ms   (simulate includes trace generation)",
+        "total", total_ms
+    );
+    if let Some(target) = &o.json {
+        let mut json = format!(
+            "{{\n  \"scale\": \"{}\",\n  \"jobs\": {},\n  \"cells\": {},\n  \"phases\": [\n",
+            if o.scale == Scale::Bench {
+                "bench"
+            } else {
+                "test"
+            },
+            o.jobs,
+            specs.len(),
+        );
+        for (i, p) in phases.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}}}{}\n",
+                p.name,
+                p.wall_ms,
+                if i + 1 < phases.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "  ],\n  \"total_wall_ms\": {total_ms:.3},\n  \"cells_detail\": [\n"
+        ));
+        for (i, (spec, (e, st))) in specs.iter().zip(ests.iter().zip(&stats)).enumerate() {
+            json.push_str(&format!(
+                "    {{\"app\": \"{}\", \"kind\": \"{}\", \"exec_cycles\": {}, \
+                 \"sim_offchip_fraction\": {:.6}, \"est_offchip_fraction\": {:.6}}}{}\n",
+                suite.apps()[spec.app].name(),
+                kind_name(spec.kind),
+                st.exec_cycles,
+                st.offchip_fraction(),
+                e.offchip_fraction(),
+                if i + 1 < specs.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = emit_json(target, &json) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_run(app: App, o: &Options) {
@@ -769,8 +918,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: hoploc <apps|compile <app>|check <app|all>|run <app>|links <app>|sweep\
-             |trace <app>|trace-validate <file...>|faults <app>|serve|load> [options]"
+            "usage: hoploc <apps|compile <app>|check <app|all>|est <app|all>|run <app>\
+             |links <app>|sweep|bench|trace <app>|trace-validate <file...>|faults <app>\
+             |serve|load> [options]"
         );
         eprintln!("see the module docs (or README.md) for the option list");
         ExitCode::from(USAGE)
@@ -783,7 +933,7 @@ fn main() -> ExitCode {
     }
     // Subcommands with a positional argument parse options after it.
     let rest_start = match cmd.as_str() {
-        "compile" | "run" | "links" | "check" | "trace" | "faults" => 2,
+        "compile" | "run" | "links" | "check" | "est" | "trace" | "faults" => 2,
         _ => 1,
     };
     let opts = match parse(&cmd, &args[rest_start.min(args.len())..]) {
@@ -817,7 +967,14 @@ fn main() -> ExitCode {
             };
             return cmd_check(target, &opts);
         }
+        "est" => {
+            let Some(target) = args.get(1) else {
+                return usage();
+            };
+            return cmd_est(target, &opts);
+        }
         "sweep" => cmd_sweep(&opts),
+        "bench" => return cmd_bench(&opts),
         "serve" => return cmd_serve(&opts),
         "load" => return cmd_load(&opts),
         _ => return usage(),

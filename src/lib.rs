@@ -31,6 +31,11 @@
 //! * [`check`] — the static verifier and lint pass (`hoploc check`):
 //!   layout legality, parallelization races, and affine bounds
 //!   diagnostics with stable `HLxxxx` codes;
+//! * [`est`] — the static locality & contention estimator (`hoploc
+//!   est`): predicts off-chip fraction, expected hop count, and per-MC
+//!   queue pressure from access matrices and layout plans alone, emits
+//!   the `HL10xx` predicted-performance diagnostics, and cross-validates
+//!   itself against the cycle simulator by Spearman rank correlation;
 //! * [`serve`] — simulation-as-a-service (`hoploc serve` / `hoploc
 //!   load`): a std-only TCP job server with a bounded queue, explicit
 //!   backpressure, in-flight coalescing, a bounded LRU result cache keyed
@@ -46,6 +51,7 @@
 pub use hoploc_affine as affine;
 pub use hoploc_cache as cache;
 pub use hoploc_check as check;
+pub use hoploc_est as est;
 pub use hoploc_fault as fault;
 pub use hoploc_harness as harness;
 pub use hoploc_layout as layout;
