@@ -41,7 +41,8 @@ pub use diag::{
     HOP_IMPROVEMENT_FLOOR, MC_SHARE_CEILING, TRAFFIC_SIGNIFICANCE,
 };
 pub use model::{
-    estimate_app, estimate_app_fresh, AppEstimate, ArrayEstimate, EstConfig, RefEstimate,
+    estimate_app, estimate_app_fresh, estimate_placement, AppEstimate, ArrayEstimate, EstConfig,
+    RefEstimate,
 };
 pub use rank::{ranks, spearman};
 pub use xval::{

@@ -1158,6 +1158,29 @@ pub fn estimate_app_fresh(
     estimate_app(app, &layout, mapping, kind, &cfg)
 }
 
+/// Predicts one cell against a unified [`hoploc_noc::Placement`]: the MC
+/// count and the mapping come from the same value, and the layout is
+/// compiled fresh under the given approximation threshold. This is the
+/// scoring entry point of the `hoploc-search` design-space optimizer —
+/// the placement a candidate is scored with is byte-identical to the one
+/// the verifying cycle simulation is constructed from.
+pub fn estimate_placement(
+    app: &App,
+    placement: &hoploc_noc::Placement,
+    sim: &SimConfig,
+    kind: RunKind,
+    approx_threshold: f64,
+) -> AppEstimate {
+    let sim = SimConfig {
+        placement: placement.mc_placement().clone(),
+        ..sim.clone()
+    };
+    let layout =
+        hoploc_workloads::layout_with(app, placement.mapping(), &sim, kind, approx_threshold);
+    let cfg = EstConfig::from_sim(&sim);
+    estimate_app(app, &layout, placement.mapping(), kind, &cfg)
+}
+
 // Quiet an unused-variant lint: writes count like reads for off-chip
 // line-fetch purposes (write-allocate, writebacks modelled off).
 const _: RefKind = RefKind::Write;

@@ -7,7 +7,8 @@
 //!
 //! Two content-keyed caches sit under every run:
 //!
-//! * **Layout plans.** [`layout_for`] output per (app, layout class). The
+//! * **Layout plans.** [`hoploc_workloads::layout_with`] output per
+//!   (app, layout class). The
 //!   Baseline, FirstTouch, and Optimal run kinds all use the original
 //!   (baseline) layouts, so one compile serves three run kinds; Optimized
 //!   compiles once and is reused across repeat runs.
@@ -38,7 +39,7 @@ use hoploc_fault::{FaultPlan, FaultTopo};
 use hoploc_noc::{L2ToMcMapping, McId};
 use hoploc_obs::{ObsConfig, ObsReport};
 use hoploc_sim::{AddressSpace, PagePolicy, RunStats, SimConfig, Simulator, TraceWorkload};
-use hoploc_workloads::{layout_for, App, RunKind, TraceGen};
+use hoploc_workloads::{App, RunKind, TraceGen};
 
 pub use hoploc_workloads::RunKind as Kind;
 
@@ -232,6 +233,7 @@ pub struct Suite {
     mapping: L2ToMcMapping,
     sim: SimConfig,
     threads_per_core: usize,
+    approx_threshold: f64,
     layouts: Memo<(usize, LayoutClass), hoploc_layout::ProgramLayout>,
     traces: Memo<(usize, LayoutClass), TraceBundle>,
 }
@@ -247,9 +249,27 @@ impl Suite {
             mapping,
             sim,
             threads_per_core: 1,
+            approx_threshold: hoploc_layout::PassConfig::default().approx_threshold,
             layouts: Memo::new(None),
             traces: Memo::new(None),
         }
+    }
+
+    /// Creates a suite whose geometry comes from a unified
+    /// [`hoploc_noc::Placement`]: the config's MC placement and the
+    /// mapping are taken from the same value, so the simulator's
+    /// placement/mapping agreement assertion holds by construction.
+    /// Design-space search verifies candidates through this entry point.
+    pub fn for_placement(
+        apps: Vec<App>,
+        placement: &hoploc_noc::Placement,
+        sim: SimConfig,
+    ) -> Self {
+        let cfg = SimConfig {
+            placement: placement.mc_placement().clone(),
+            ..sim
+        };
+        Self::new(apps, placement.mapping().clone(), cfg)
     }
 
     /// Sets the threads-per-core count (Figure 24). Resets nothing: the
@@ -257,6 +277,18 @@ impl Suite {
     pub fn with_threads_per_core(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread per core");
         self.threads_per_core = threads;
+        self
+    }
+
+    /// Sets the layout pass's approximation threshold for Optimized
+    /// layouts. Builder-style: call before the first run, so the layout
+    /// cache never mixes plans compiled under different thresholds.
+    pub fn with_approx_threshold(mut self, approx_threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&approx_threshold),
+            "approx threshold must be a fraction"
+        );
+        self.approx_threshold = approx_threshold;
         self
     }
 
@@ -308,7 +340,13 @@ impl Suite {
             LayoutClass::Optimized => RunKind::Optimized,
         };
         self.layouts.get_or((app, class), || {
-            layout_for(&self.apps[app], &self.mapping, &self.sim, kind)
+            hoploc_workloads::layout_with(
+                &self.apps[app],
+                &self.mapping,
+                &self.sim,
+                kind,
+                self.approx_threshold,
+            )
         })
     }
 

@@ -39,6 +39,8 @@ pub enum MappingError {
     },
     /// A cluster was assigned no MCs.
     EmptyAssignment(ClusterId),
+    /// Two memory controllers attach to the same mesh node.
+    DuplicateMcNode(NodeId),
 }
 
 impl fmt::Display for MappingError {
@@ -56,6 +58,9 @@ impl fmt::Display for MappingError {
             }
             MappingError::EmptyAssignment(c) => {
                 write!(f, "cluster {} has no assigned MC", c.0)
+            }
+            MappingError::DuplicateMcNode(n) => {
+                write!(f, "two memory controllers attach to node {}", n.0)
             }
         }
     }

@@ -13,6 +13,10 @@
 //!   including the paper's M1 (quadrants, `k = 1`) and M2 (halves,
 //!   `k = 2`) examples, with the distance / MLP metrics used by the
 //!   compiler's mapping-selection analysis;
+//! * [`Placement`] — MC attach coordinates *plus* a validated cluster
+//!   map as one value, consistent by construction, so design-space
+//!   search, the estimator, and the simulator provably agree on
+//!   geometry;
 //! * [`Network`] — the contention model: messages serialize per directed
 //!   link, so off-chip and on-chip traffic interfere exactly as the paper
 //!   describes, with per-class latency and hop-histogram statistics
@@ -24,9 +28,11 @@
 mod cluster;
 mod geometry;
 mod network;
+mod placement;
 
 pub use cluster::{ClusterId, L2ToMcMapping, MappingError};
 pub use geometry::{McId, McPlacement, Mesh, NodeId};
 pub use network::{
     ClassStats, LinkFault, NetStats, Network, NocConfig, Routing, TrafficClass, MAX_HOPS,
 };
+pub use placement::Placement;

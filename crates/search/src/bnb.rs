@@ -1,0 +1,236 @@
+//! Exact branch-and-bound for the *balanced assignment* subproblem:
+//! given fixed MC attach nodes and a fixed cluster tiling, assign each
+//! cluster `k` MCs so that every MC serves the same number of clusters,
+//! minimizing total core-to-assigned-MC hop distance (the compiler's
+//! distance-to-MC metric, §4).
+//!
+//! Without the balance constraint the optimum is trivially separable
+//! (each cluster independently takes its nearest `k`-subset); *with* it
+//! the per-cluster choices compete for MC capacity, which is what makes
+//! the search interesting — and a classic branch-and-bound with an
+//! admissible remaining-cost bound solves the small instances here
+//! exactly. The bound is the sum of each remaining cluster's
+//! *unconstrained* minimum subset cost, which never exceeds any feasible
+//! completion, so pruning cannot cut off the optimum (the property suite
+//! cross-checks this against unpruned brute force).
+
+use hoploc_noc::{McId, Mesh, NodeId};
+
+/// All `k`-element subsets of `0..n`, in lexicographic order.
+fn k_subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(0, n, k, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Per-cluster total hop distance from every node of the cluster to one
+/// MC attach node, for all (cluster, MC) pairs.
+fn cluster_mc_costs(mesh: &Mesh, mc_nodes: &[NodeId], cw: u16, ch: u16) -> Vec<Vec<u64>> {
+    let gx = mesh.width() / cw;
+    let gy = mesh.height() / ch;
+    let mut costs = vec![vec![0u64; mc_nodes.len()]; (gx * gy) as usize];
+    for cy in 0..gy {
+        for cx in 0..gx {
+            let c = (cy * gx + cx) as usize;
+            for y in cy * ch..(cy + 1) * ch {
+                for x in cx * cw..(cx + 1) * cw {
+                    let n = mesh.node_at(x, y);
+                    for (m, &mc) in mc_nodes.iter().enumerate() {
+                        costs[c][m] += mesh.hop_distance(n, mc) as u64;
+                    }
+                }
+            }
+        }
+    }
+    costs
+}
+
+struct Solver {
+    subsets: Vec<Vec<usize>>,
+    subset_costs: Vec<Vec<u64>>, // [cluster][subset index]
+    suffix_min: Vec<u64>,        // suffix_min[c] = Σ_{c' >= c} min subset cost
+    cap: usize,
+    prune: bool,
+    best_total: u64,
+    best: Vec<usize>, // subset index per cluster
+}
+
+impl Solver {
+    fn solve(&mut self, c: usize, usage: &mut [usize], total: u64, picked: &mut Vec<usize>) {
+        if c == self.subset_costs.len() {
+            if total < self.best_total {
+                self.best_total = total;
+                self.best = picked.clone();
+            }
+            return;
+        }
+        if self.prune && total + self.suffix_min[c] >= self.best_total {
+            return;
+        }
+        'subset: for si in 0..self.subsets.len() {
+            let subset = self.subsets[si].clone();
+            for &m in &subset {
+                if usage[m] == self.cap {
+                    continue 'subset;
+                }
+            }
+            for &m in &subset {
+                usage[m] += 1;
+            }
+            picked.push(si);
+            self.solve(c + 1, usage, total + self.subset_costs[c][si], picked);
+            picked.pop();
+            for &m in &subset {
+                usage[m] -= 1;
+            }
+        }
+    }
+}
+
+fn run(
+    mesh: &Mesh,
+    mc_nodes: &[NodeId],
+    cw: u16,
+    ch: u16,
+    k: usize,
+    prune: bool,
+) -> Option<(Vec<Vec<McId>>, u64)> {
+    let n_mcs = mc_nodes.len();
+    if k == 0 || k > n_mcs || cw == 0 || ch == 0 {
+        return None;
+    }
+    if !mesh.width().is_multiple_of(cw) || !mesh.height().is_multiple_of(ch) {
+        return None;
+    }
+    let costs = cluster_mc_costs(mesh, mc_nodes, cw, ch);
+    let n_clusters = costs.len();
+    // Balance: every MC serves exactly slots / n_mcs clusters.
+    if !(n_clusters * k).is_multiple_of(n_mcs) {
+        return None;
+    }
+    let cap = n_clusters * k / n_mcs;
+    let subsets = k_subsets(n_mcs, k);
+    let subset_costs: Vec<Vec<u64>> = costs
+        .iter()
+        .map(|row| {
+            subsets
+                .iter()
+                .map(|s| s.iter().map(|&m| row[m]).sum())
+                .collect()
+        })
+        .collect();
+    let mut suffix_min = vec![0u64; n_clusters + 1];
+    for c in (0..n_clusters).rev() {
+        let min = *subset_costs[c].iter().min().expect("subsets are non-empty");
+        suffix_min[c] = suffix_min[c + 1] + min;
+    }
+    let mut solver = Solver {
+        subsets,
+        subset_costs,
+        suffix_min,
+        cap,
+        prune,
+        best_total: u64::MAX,
+        best: Vec::new(),
+    };
+    solver.solve(0, &mut vec![0usize; n_mcs], 0, &mut Vec::new());
+    if solver.best.len() != n_clusters {
+        return None;
+    }
+    let assignments = solver
+        .best
+        .iter()
+        .map(|&si| solver.subsets[si].iter().map(|&m| McId(m as u16)).collect())
+        .collect();
+    Some((assignments, solver.best_total))
+}
+
+/// Minimum-distance balanced assignment: each cluster gets `k` MCs, each
+/// MC serves `n_clusters·k / n_mcs` clusters, total core-to-MC hop
+/// distance is exactly minimized. Returns `None` if the tiling does not
+/// divide the mesh or the slot count does not balance across MCs.
+pub fn balanced_assignment(
+    mesh: &Mesh,
+    mc_nodes: &[NodeId],
+    cw: u16,
+    ch: u16,
+    k: usize,
+) -> Option<(Vec<Vec<McId>>, u64)> {
+    run(mesh, mc_nodes, cw, ch, k, true)
+}
+
+/// Unpruned brute force over the same space — the oracle the property
+/// suite compares [`balanced_assignment`] against.
+pub fn balanced_assignment_brute(
+    mesh: &Mesh,
+    mc_nodes: &[NodeId],
+    cw: u16,
+    ch: u16,
+    k: usize,
+) -> Option<(Vec<Vec<McId>>, u64)> {
+    run(mesh, mc_nodes, cw, ch, k, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoploc_noc::McPlacement;
+
+    fn corners(mesh: &Mesh) -> Vec<NodeId> {
+        McPlacement::Corners.attach_nodes(mesh)
+    }
+
+    #[test]
+    fn quadrants_with_corner_mcs_recover_m1() {
+        let mesh = Mesh::new(8, 8);
+        let (assign, _) = balanced_assignment(&mesh, &corners(&mesh), 4, 4, 1).unwrap();
+        // Each quadrant takes its own corner, exactly the paper's M1.
+        assert_eq!(
+            assign,
+            vec![vec![McId(0)], vec![McId(1)], vec![McId(2)], vec![McId(3)]]
+        );
+    }
+
+    #[test]
+    fn halves_with_corner_mcs_recover_m2() {
+        let mesh = Mesh::new(8, 8);
+        let (assign, _) = balanced_assignment(&mesh, &corners(&mesh), 4, 8, 2).unwrap();
+        assert_eq!(assign, vec![vec![McId(0), McId(2)], vec![McId(1), McId(3)]]);
+    }
+
+    #[test]
+    fn unbalanced_slot_counts_rejected() {
+        let mesh = Mesh::new(8, 8);
+        // 2 clusters × k=3 = 6 slots over 4 MCs: not balanceable.
+        assert!(balanced_assignment(&mesh, &corners(&mesh), 4, 8, 3).is_none());
+        // Uneven tiling.
+        assert!(balanced_assignment(&mesh, &corners(&mesh), 3, 8, 1).is_none());
+    }
+
+    #[test]
+    fn pruned_matches_brute_force() {
+        let mesh = Mesh::new(8, 8);
+        for nodes in [
+            corners(&mesh),
+            McPlacement::Diagonal.attach_nodes(&mesh),
+            vec![NodeId(18), NodeId(21), NodeId(42), NodeId(45)],
+        ] {
+            for (cw, ch, k) in [(4, 4, 1), (2, 8, 1), (2, 4, 1), (4, 8, 2), (8, 8, 4)] {
+                let a = balanced_assignment(&mesh, &nodes, cw, ch, k).unwrap();
+                let b = balanced_assignment_brute(&mesh, &nodes, cw, ch, k).unwrap();
+                assert_eq!(a.1, b.1, "bound must be admissible for {cw}x{ch} k={k}");
+            }
+        }
+    }
+}

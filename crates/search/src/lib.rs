@@ -1,0 +1,400 @@
+//! # hoploc-search
+//!
+//! Seeded, deterministic design-space search over the three axes the
+//! paper fixes by hand: (a) where the four memory controllers attach to
+//! the mesh, (b) how L2 clusters map to MCs, and (c) the layout-plan
+//! parameters (interleaving granularity, approximation threshold).
+//!
+//! The optimizer is a two-phase pipeline:
+//!
+//! 1. **Curated branch-and-bound.** The paper's placements (plus the
+//!    quadrant-centre interior placement) are crossed with every
+//!    balanced cluster tiling; for each pair, an exact branch-and-bound
+//!    ([`balanced_assignment`]) finds the distance-optimal balanced
+//!    cluster map. These few dozen points are scored first.
+//! 2. **Simulated annealing.** A single sequential Metropolis chain
+//!    ([`anneal`]) explores the full space from the phase-1 incumbent —
+//!    relocating MCs, retiling, reassigning and swapping cluster MC
+//!    sets, and flipping layout-plan parameters.
+//!
+//! Candidates are scored by the static estimator (`hoploc-est`,
+//! thousands of evaluations per second); the top-K finalists are then
+//! *verified* by the cycle simulator against the paper's corner, edge,
+//! and diamond placements before any win is reported. Every candidate
+//! is legal by construction ([`Candidate::placement`] builds a validated
+//! [`hoploc_noc::Placement`]), every search is reproducible from one
+//! seed at any `--jobs` count, and every emitted line (progress events,
+//! final report) is a deterministic single-line JSON object.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anneal;
+mod bnb;
+mod objective;
+mod report;
+mod space;
+
+pub use anneal::{anneal, Schedule};
+pub use bnb::{balanced_assignment, balanced_assignment_brute};
+pub use objective::Objective;
+pub use report::{event_json, scale_name, text_header, EstTerms, SearchReport, Verified};
+pub use space::{curated, granularity_name, propose, Candidate, APPROX_LEVELS, TILINGS};
+
+use hoploc_est::estimate_placement;
+use hoploc_harness::{parallel_map, RunSpec, Suite};
+use hoploc_layout::Granularity;
+use hoploc_noc::{McPlacement, Placement};
+use hoploc_ptest::SmallRng;
+use hoploc_sim::SimConfig;
+use hoploc_workloads::{App, RunKind, Scale};
+use std::collections::HashMap;
+
+/// One search's configuration. The base [`SimConfig`] carries the
+/// machine (mesh, caches, default granularity) the baselines run under;
+/// candidates override its placement and granularity per point.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Base machine configuration.
+    pub sim: SimConfig,
+    /// Problem scale the apps are built at (reported, and must match
+    /// the apps handed to [`search_app`]).
+    pub scale: Scale,
+    /// Master seed; each app's chain forks deterministically from it.
+    pub seed: u64,
+    /// Estimator-evaluation budget per app.
+    pub budget: u32,
+    /// The objective to minimize.
+    pub objective: Objective,
+    /// How many top candidates to verify with the cycle simulator.
+    pub top_k: usize,
+}
+
+impl SearchConfig {
+    /// Defaults: seed 0, 400 evaluations, `offchip+hops` objective,
+    /// 3 verified finalists.
+    pub fn new(sim: SimConfig, scale: Scale) -> Self {
+        Self {
+            sim,
+            scale,
+            seed: 0,
+            budget: 400,
+            objective: Objective::default(),
+            top_k: 3,
+        }
+    }
+}
+
+/// FNV-1a, the workspace's standard content hash — used to fork each
+/// app's PRNG stream from the master seed by name, so the chain is
+/// independent of the app's position in the suite and of `--jobs`.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The estimator-backed scorer: caches by candidate key (revisits are
+/// free), counts fresh evaluations against the budget, and keeps the
+/// top-K distinct candidates for verification.
+struct Evaluator<'a> {
+    app: &'a App,
+    cfg: &'a SearchConfig,
+    diameter: u16,
+    cache: HashMap<String, (f64, EstTerms)>,
+    evaluated: u32,
+    /// `(score, key, candidate)`, ascending, truncated to `top_k`.
+    top: Vec<(f64, String, Candidate)>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(app: &'a App, cfg: &'a SearchConfig) -> Self {
+        let diameter = (cfg.sim.mesh.width() - 1) + (cfg.sim.mesh.height() - 1);
+        Self {
+            app,
+            cfg,
+            diameter,
+            cache: HashMap::new(),
+            evaluated: 0,
+            top: Vec::new(),
+        }
+    }
+
+    /// Scores a candidate, or `None` once the budget is spent (cached
+    /// revisits stay free).
+    fn score(&mut self, c: &Candidate) -> Option<f64> {
+        let key = c.key();
+        if let Some(&(score, _)) = self.cache.get(&key) {
+            return Some(score);
+        }
+        if self.evaluated >= self.cfg.budget {
+            return None;
+        }
+        self.evaluated += 1;
+        let placement = c
+            .placement(&self.cfg.sim.mesh)
+            .expect("search candidates are legal by construction");
+        let sim = SimConfig {
+            granularity: c.granularity,
+            ..self.cfg.sim.clone()
+        };
+        let est = estimate_placement(self.app, &placement, &sim, RunKind::Optimized, c.approx);
+        let score = self
+            .cfg
+            .objective
+            .score(&est, self.diameter, placement.mc_nodes().len());
+        let terms = EstTerms {
+            offchip: est.offchip_fraction(),
+            hops: est.avg_offchip_hops,
+            queue: est.queue_pressure,
+        };
+        self.cache.insert(key.clone(), (score, terms));
+        // Keep the verification shortlist sorted and bounded; ties break
+        // on the candidate key so the list is seed-deterministic.
+        let entry = (score, key, c.clone());
+        let pos = self
+            .top
+            .binary_search_by(|e| {
+                e.0.partial_cmp(&entry.0)
+                    .expect("objective scores are finite")
+                    .then_with(|| e.1.cmp(&entry.1))
+            })
+            .unwrap_err();
+        self.top.insert(pos, entry);
+        self.top.truncate(self.cfg.top_k.max(1));
+        Some(score)
+    }
+
+    fn terms_of(&self, c: &Candidate) -> EstTerms {
+        self.cache
+            .get(&c.key())
+            .expect("best candidate was scored through the cache")
+            .1
+    }
+}
+
+/// Cycle-sim completion time of one candidate: the suite is constructed
+/// from the candidate's own [`Placement`], granularity, and
+/// approximation threshold, so verification replays the exact plan the
+/// estimator scored.
+fn verify_candidate(app: &App, cfg: &SearchConfig, c: &Candidate) -> u64 {
+    let placement = c
+        .placement(&cfg.sim.mesh)
+        .expect("search candidates are legal by construction");
+    let sim = SimConfig {
+        granularity: c.granularity,
+        ..cfg.sim.clone()
+    };
+    let suite =
+        Suite::for_placement(vec![app.clone()], &placement, sim).with_approx_threshold(c.approx);
+    suite
+        .run_one(RunSpec {
+            app: 0,
+            kind: RunKind::Optimized,
+        })
+        .exec_cycles
+}
+
+/// Cycle-sim completion time of a paper placement under the base config
+/// (nearest-cluster M1 mapping, default layout parameters).
+fn baseline_cycles(app: &App, cfg: &SearchConfig, placement: &McPlacement) -> u64 {
+    let p = Placement::nearest(cfg.sim.mesh, placement);
+    let suite = Suite::for_placement(vec![app.clone()], &p, cfg.sim.clone());
+    suite
+        .run_one(RunSpec {
+            app: 0,
+            kind: RunKind::Optimized,
+        })
+        .exec_cycles
+}
+
+/// Searches one application. `emit` receives each progress event as a
+/// finished single-line JSON string (best-so-far improvements only, so
+/// `best_score` is monotone non-increasing along the stream); the
+/// returned report carries the verified outcome.
+///
+/// Deterministic: the chain's PRNG forks from `cfg.seed` by app *name*,
+/// the chain is strictly sequential, and nothing time- or
+/// thread-dependent enters the state.
+pub fn search_app(app: &App, cfg: &SearchConfig, emit: &mut dyn FnMut(String)) -> SearchReport {
+    assert!(cfg.budget >= 1, "search needs a budget of at least 1");
+    let mesh = cfg.sim.mesh;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed).fork(fnv1a(app.name()));
+    let mut ev = Evaluator::new(app, cfg);
+
+    // Phase 1: curated branch-and-bound points, best-known first order.
+    let start = Candidate::from_named(&mesh, &cfg.sim.placement, cfg.sim.granularity);
+    let mut best = start.clone();
+    let mut best_score = ev.score(&start).expect("budget >= 1 admits one evaluation");
+    emit(event_json(
+        app.name(),
+        "curated",
+        ev.evaluated,
+        best_score,
+        &best,
+    ));
+    let phase1_cap = (cfg.budget / 2).max(1);
+    for c in curated(&mesh, &[Granularity::CacheLine, Granularity::Page]) {
+        if ev.evaluated >= phase1_cap {
+            break;
+        }
+        let Some(score) = ev.score(&c) else { break };
+        if score < best_score {
+            best = c;
+            best_score = score;
+            emit(event_json(
+                app.name(),
+                "curated",
+                ev.evaluated,
+                best_score,
+                &best,
+            ));
+        }
+    }
+
+    // Phase 2: annealing from the incumbent with the remaining budget.
+    let remaining = cfg.budget.saturating_sub(ev.evaluated);
+    if remaining > 0 {
+        let schedule = Schedule::for_budget(remaining);
+        // The improvement callback needs the live evaluation count, but
+        // the evaluator is exclusively borrowed by the scoring closure —
+        // a Cell shares the counter without aliasing the borrow.
+        let evaluated_at = std::cell::Cell::new(ev.evaluated);
+        let (b, s) = anneal(
+            &mesh,
+            &mut rng,
+            &schedule,
+            best.clone(),
+            best_score,
+            &mut |c| {
+                let r = ev.score(c);
+                evaluated_at.set(ev.evaluated);
+                r
+            },
+            &mut |c, s| emit(event_json(app.name(), "anneal", evaluated_at.get(), s, c)),
+        );
+        best = b;
+        best_score = s;
+    }
+
+    // Verification: cycle-sim the shortlist and the paper baselines.
+    let shortlist = ev.top.clone();
+    let verified: Vec<Verified> = shortlist
+        .iter()
+        .map(|(score, _, c)| Verified {
+            candidate: c.clone(),
+            score: *score,
+            cycles: verify_candidate(app, cfg, c),
+        })
+        .collect();
+    let corners_cycles = baseline_cycles(app, cfg, &McPlacement::Corners);
+    let edge_cycles = baseline_cycles(app, cfg, &McPlacement::EdgeMidpoints);
+    let diamond_cycles = baseline_cycles(app, cfg, &McPlacement::Diagonal);
+    let winner = verified
+        .iter()
+        .min_by(|a, b| {
+            a.cycles
+                .cmp(&b.cycles)
+                .then_with(|| a.candidate.key().cmp(&b.candidate.key()))
+        })
+        .expect("top_k >= 1 and budget >= 1 guarantee a verified finalist");
+
+    let est = ev.terms_of(&best);
+    SearchReport {
+        app: app.name().to_string(),
+        scale: cfg.scale,
+        seed: cfg.seed,
+        budget: cfg.budget,
+        objective: cfg.objective,
+        evaluated: ev.evaluated,
+        best,
+        best_score,
+        est,
+        verified: verified.clone(),
+        corners_cycles,
+        edge_cycles,
+        diamond_cycles,
+        found: winner.candidate.clone(),
+        found_cycles: winner.cycles,
+    }
+}
+
+/// Searches many applications, fanning per-app chains across `jobs`
+/// threads. Results are in app order and bit-identical at any job
+/// count: each app's chain is sequential and seeded by name, and
+/// [`parallel_map`] collects by index.
+pub fn search_suite(
+    apps: &[App],
+    cfg: &SearchConfig,
+    jobs: usize,
+) -> Vec<(SearchReport, Vec<String>)> {
+    parallel_map(apps, jobs, |app| {
+        let mut events = Vec::new();
+        let report = search_app(app, cfg, &mut |e| events.push(e));
+        (report, events)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoploc_workloads::{apsi, gafort};
+
+    fn test_cfg(seed: u64, budget: u32) -> SearchConfig {
+        let sim = SimConfig {
+            granularity: Granularity::CacheLine,
+            ..SimConfig::scaled()
+        };
+        SearchConfig {
+            seed,
+            budget,
+            top_k: 2,
+            ..SearchConfig::new(sim, Scale::Test)
+        }
+    }
+
+    #[test]
+    fn search_is_seed_deterministic() {
+        let app = gafort(Scale::Test);
+        let cfg = test_cfg(7, 40);
+        let mut ev_a = Vec::new();
+        let a = search_app(&app, &cfg, &mut |e| ev_a.push(e));
+        let mut ev_b = Vec::new();
+        let b = search_app(&app, &cfg, &mut |e| ev_b.push(e));
+        assert_eq!(a, b);
+        assert_eq!(ev_a, ev_b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn suite_order_and_jobs_do_not_change_results() {
+        let apps = [gafort(Scale::Test), apsi(Scale::Test)];
+        let cfg = test_cfg(3, 24);
+        let seq = search_suite(&apps, &cfg, 1);
+        let par = search_suite(&apps, &cfg, 4);
+        assert_eq!(seq, par);
+        // Reversing the suite reverses the outputs but not any result.
+        let rev_apps = [apps[1].clone(), apps[0].clone()];
+        let rev = search_suite(&rev_apps, &cfg, 2);
+        assert_eq!(seq[0], rev[1]);
+        assert_eq!(seq[1], rev[0]);
+    }
+
+    #[test]
+    fn report_json_is_single_line_object() {
+        let app = gafort(Scale::Test);
+        let cfg = test_cfg(1, 16);
+        let mut events = Vec::new();
+        let r = search_app(&app, &cfg, &mut |e| events.push(e));
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'));
+        for e in &events {
+            assert!(e.starts_with('{') && !e.contains('\n'));
+        }
+        assert!(r.verified.len() <= 2 && !r.verified.is_empty());
+    }
+}

@@ -92,6 +92,47 @@ impl Client {
         }
     }
 
+    /// Watches job `id` to completion: streams its progress events (raw
+    /// single-line JSON objects, in order) into `on_event` as they
+    /// arrive, then returns the final raw result bytes. For job kinds
+    /// without progress this is `result` plus zero events.
+    pub fn watch(&mut self, id: u64, on_event: &mut dyn FnMut(String)) -> Result<String, String> {
+        let mut line = encode_request(&Request::Watch(id));
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut next_seq = 0u64;
+        loop {
+            let mut reply = String::new();
+            let n = self
+                .reader
+                .read_line(&mut reply)
+                .map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection mid-watch".into());
+            }
+            match parse_response(reply.trim_end())? {
+                Response::Progress { seq, event, .. } => {
+                    if seq != next_seq {
+                        return Err(format!(
+                            "watch stream skipped: expected seq {next_seq}, got {seq}"
+                        ));
+                    }
+                    next_seq += 1;
+                    on_event(event);
+                }
+                Response::ResultOk { result, .. } => return Ok(result),
+                Response::ResultErr { error, .. } => {
+                    return Err(format!("job {id} failed: {error}"))
+                }
+                Response::ProtocolError { error } => return Err(error),
+                other => return Err(format!("unexpected watch reply {other:?}")),
+            }
+        }
+    }
+
     /// Fetches the server metrics snapshot (single-line JSON object).
     pub fn stats(&mut self) -> Result<String, String> {
         match self.call(&Request::Stats)? {

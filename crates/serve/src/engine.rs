@@ -17,8 +17,9 @@ use hoploc_est::{est_record_json, estimate_app, EstConfig};
 use hoploc_fault::{FaultPlan, FaultRates};
 use hoploc_harness::{fault_topo, record_json, RunRecord, RunSpec, Suite};
 use hoploc_noc::{L2ToMcMapping, McPlacement};
+use hoploc_search::{search_app, Objective, SearchConfig};
 use hoploc_sim::SimConfig;
-use hoploc_workloads::all_apps;
+use hoploc_workloads::{all_apps, RunKind};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -32,6 +33,21 @@ pub trait Engine: Send + Sync {
     /// Runs the job to completion, returning the raw single-line JSON run
     /// record, or a structured error message.
     fn run(&self, spec: &JobSpec) -> Result<String, String>;
+
+    /// Like [`run`](Engine::run), but long-running job kinds push
+    /// intermediate progress lines (single-line JSON objects) through
+    /// `emit` as they happen. The default ignores the sink and just runs
+    /// — only engines with genuinely long jobs (search) override it. The
+    /// sink must be callable from whatever thread executes the job,
+    /// including the detached thread the server uses under timeouts.
+    fn run_streaming(
+        &self,
+        spec: &JobSpec,
+        emit: &(dyn Fn(String) + Send + Sync),
+    ) -> Result<String, String> {
+        let _ = emit;
+        self.run(spec)
+    }
 }
 
 /// How many completed artifacts each per-configuration suite may keep
@@ -129,6 +145,33 @@ impl SuiteEngine {
         suite
     }
 
+    /// Runs a search job: the same `search_app` call the CLI makes, fed
+    /// the same `SimConfig` construction as [`sim_for`](Self::sim_for),
+    /// so the streamed events and the final report are byte-identical to
+    /// `hoploc search <app> --json -` with the same seed.
+    fn run_search(
+        &self,
+        spec: &JobSpec,
+        emit: &(dyn Fn(String) + Send + Sync),
+    ) -> Result<String, String> {
+        let search = spec.search.as_ref().expect("caller checked spec.search");
+        let objective =
+            Objective::parse(&search.objective).map_err(|e| format!("search objective: {e}"))?;
+        let app = all_apps(spec.scale)
+            .into_iter()
+            .find(|a| a.name() == spec.app)
+            .ok_or_else(|| format!("unknown application {:?}", spec.app))?;
+        let cfg = SearchConfig {
+            seed: search.seed,
+            budget: search.budget,
+            objective,
+            ..SearchConfig::new(Self::sim_for(spec), spec.scale)
+        };
+        let mut sink = |line: String| emit(line);
+        let report = search_app(&app, &cfg, &mut sink);
+        Ok(report.to_json())
+    }
+
     fn resolve_plan(spec: &JobSpec, suite: &Suite) -> Result<Option<FaultPlan>, String> {
         let topo = fault_topo(suite.sim());
         match &spec.faults {
@@ -166,10 +209,42 @@ impl Engine for SuiteEngine {
             plan.validate(&fault_topo(&sim))
                 .map_err(|e| format!("fault plan does not fit this machine: {e}"))?;
         }
+        if let Some(search) = &spec.search {
+            // The optimizer searches mappings and tunes the optimized
+            // layout itself, so every knob those subsume is pinned to the
+            // value the search actually uses — accepting anything else
+            // would key a result the server did not compute.
+            if spec.kind != RunKind::Optimized {
+                return Err("search jobs tune the optimized pass; use kind=optimized".into());
+            }
+            if spec.m2 {
+                return Err(
+                    "search jobs explore L2-to-MC mappings; the m2 preset does not apply".into(),
+                );
+            }
+            if spec.threads != 1 {
+                return Err("search jobs verify with one thread per core".into());
+            }
+            if spec.faults != FaultSpec::None {
+                return Err("search jobs do not support fault injection".into());
+            }
+            if spec.fidelity != Fidelity::Cycle {
+                return Err(
+                    "search jobs verify with the cycle simulator; use cycle fidelity".into(),
+                );
+            }
+            if search.budget == 0 {
+                return Err("search budget must be at least 1".into());
+            }
+            Objective::parse(&search.objective).map_err(|e| format!("search objective: {e}"))?;
+        }
         Ok(())
     }
 
     fn run(&self, spec: &JobSpec) -> Result<String, String> {
+        if spec.search.is_some() {
+            return self.run_search(spec, &|_| {});
+        }
         let suite = self.suite_for(spec);
         let app_idx = suite
             .apps()
@@ -203,6 +278,17 @@ impl Engine for SuiteEngine {
             kind: spec.kind,
             stats,
         }))
+    }
+
+    fn run_streaming(
+        &self,
+        spec: &JobSpec,
+        emit: &(dyn Fn(String) + Send + Sync),
+    ) -> Result<String, String> {
+        if spec.search.is_some() {
+            return self.run_search(spec, emit);
+        }
+        self.run(spec)
     }
 }
 
@@ -276,6 +362,83 @@ mod tests {
         s.faults = FaultSpec::Seed(3);
         let err = eng.validate(&s).unwrap_err();
         assert!(err.contains("cycle fidelity"), "{err}");
+    }
+
+    #[test]
+    fn search_jobs_stream_and_match_direct_search() {
+        use crate::job::SearchSpec;
+        let eng = SuiteEngine::new(EngineCaps::default());
+        let mut s = spec("gafort");
+        s.kind = RunKind::Optimized;
+        s.search = Some(SearchSpec {
+            seed: 5,
+            budget: 10,
+            objective: "offchip+hops".into(),
+        });
+        assert!(eng.validate(&s).is_ok());
+        let streamed = std::sync::Mutex::new(Vec::new());
+        let served = eng
+            .run_streaming(&s, &|line| streamed.lock().unwrap().push(line))
+            .unwrap();
+
+        let app = all_apps(s.scale)
+            .into_iter()
+            .find(|a| a.name() == "gafort")
+            .unwrap();
+        let cfg = SearchConfig {
+            seed: 5,
+            budget: 10,
+            objective: Objective::parse("offchip,hops").unwrap(),
+            ..SearchConfig::new(SuiteEngine::sim_for(&s), s.scale)
+        };
+        let mut direct_events = Vec::new();
+        let report = search_app(&app, &cfg, &mut |e| direct_events.push(e));
+        assert_eq!(served, report.to_json(), "served report must match direct");
+        assert_eq!(
+            *streamed.lock().unwrap(),
+            direct_events,
+            "streamed events must match direct events byte-for-byte"
+        );
+        // The plain (non-streaming) path returns the same final bytes.
+        assert_eq!(eng.run(&s).unwrap(), served);
+    }
+
+    #[test]
+    fn search_validation_pins_subsumed_knobs() {
+        use crate::job::SearchSpec;
+        let eng = SuiteEngine::new(EngineCaps::default());
+        let base = || {
+            let mut s = spec("swim");
+            s.kind = RunKind::Optimized;
+            s.search = Some(SearchSpec {
+                seed: 0,
+                budget: 10,
+                objective: "offchip+hops".into(),
+            });
+            s
+        };
+        assert!(eng.validate(&base()).is_ok());
+        let mut bad = base();
+        bad.kind = RunKind::Baseline;
+        assert!(eng.validate(&bad).unwrap_err().contains("optimized"));
+        let mut bad = base();
+        bad.m2 = true;
+        assert!(eng.validate(&bad).unwrap_err().contains("m2"));
+        let mut bad = base();
+        bad.threads = 2;
+        assert!(eng.validate(&bad).unwrap_err().contains("thread"));
+        let mut bad = base();
+        bad.faults = FaultSpec::Seed(1);
+        assert!(eng.validate(&bad).unwrap_err().contains("fault"));
+        let mut bad = base();
+        bad.fidelity = Fidelity::Est;
+        assert!(eng.validate(&bad).unwrap_err().contains("cycle"));
+        let mut bad = base();
+        bad.search.as_mut().unwrap().budget = 0;
+        assert!(eng.validate(&bad).unwrap_err().contains("budget"));
+        let mut bad = base();
+        bad.search.as_mut().unwrap().objective = "latency".into();
+        assert!(eng.validate(&bad).unwrap_err().contains("objective"));
     }
 
     #[test]

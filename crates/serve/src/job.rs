@@ -65,6 +65,27 @@ pub fn parse_fidelity(s: &str) -> Result<Fidelity, String> {
     }
 }
 
+/// Parameters of a long-running `search` job: the design-space
+/// optimizer runs server-side with progress streamed over `watch`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SearchSpec {
+    /// Master seed the per-app chain forks from.
+    pub seed: u64,
+    /// Estimator-evaluation budget.
+    pub budget: u32,
+    /// Objective canon (`Objective::canon` form, e.g. `offchip+hops`).
+    pub objective: String,
+}
+
+impl SearchSpec {
+    fn canon(&self) -> String {
+        format!(
+            "seed:{},budget:{},objective:{}",
+            self.seed, self.budget, self.objective
+        )
+    }
+}
+
 /// One job: a fully specified simulation request.
 #[derive(Clone, PartialEq, Debug)]
 pub struct JobSpec {
@@ -86,6 +107,9 @@ pub struct JobSpec {
     pub faults: FaultSpec,
     /// Answer tier: cycle simulation or the static estimator.
     pub fidelity: Fidelity,
+    /// Present for the long-running `search` job kind: run the
+    /// design-space optimizer for `app` instead of one simulation.
+    pub search: Option<SearchSpec>,
 }
 
 impl Default for JobSpec {
@@ -100,6 +124,7 @@ impl Default for JobSpec {
             threads: 1,
             faults: FaultSpec::None,
             fidelity: Fidelity::Cycle,
+            search: None,
         }
     }
 }
@@ -147,6 +172,12 @@ impl JobSpec {
         if self.fidelity != Fidelity::Cycle {
             s.push_str(";fidelity=");
             s.push_str(fidelity_name(self.fidelity));
+        }
+        // Like `fidelity`, the `search` suffix is default-absent: every
+        // key minted before the job kind existed stays byte-stable.
+        if let Some(search) = &self.search {
+            s.push_str(";search=");
+            s.push_str(&search.canon());
         }
         s
     }
@@ -304,6 +335,32 @@ mod tests {
         b.fidelity = Fidelity::Est;
         assert!(b.canon().ends_with(";fidelity=est"));
         assert_ne!(a.key(), b.key(), "tiers must cache separately");
+    }
+
+    #[test]
+    fn absent_search_keeps_pre_search_keys_byte_stable() {
+        let a = spec();
+        assert!(
+            !a.canon().contains("search"),
+            "non-search canon must not mention search: {}",
+            a.canon()
+        );
+        let mut b = a.clone();
+        b.search = Some(SearchSpec {
+            seed: 0,
+            budget: 400,
+            objective: "offchip+hops".into(),
+        });
+        assert!(
+            b.canon()
+                .ends_with(";search=seed:0,budget:400,objective:offchip+hops"),
+            "{}",
+            b.canon()
+        );
+        assert_ne!(a.key(), b.key(), "search jobs must cache separately");
+        let mut c = b.clone();
+        c.search.as_mut().unwrap().seed = 1;
+        assert_ne!(b.key(), c.key(), "the seed is part of the job identity");
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! encoding and canonical key are byte-identical to pre-fidelity clients',
 //! so old caches and logs stay valid.
 //!
+//! Long-running jobs exist too: a submission with `search_*` fields runs
+//! the [`hoploc_search`] design-space optimizer server-side, and the
+//! `watch` op streams its progress events (best-so-far improvements)
+//! followed by the final report — byte-identical to `hoploc search
+//! --json -` for the same seed. Like `fidelity`, the search fields are
+//! default-absent from both the wire form and the canonical key, so
+//! pre-existing job keys and cached results stay byte-stable.
+//!
 //! The crate splits along the obvious seams:
 //!
 //! * [`job`] — job specs, canonical encoding, and the FNV-1a job key.
@@ -54,7 +62,7 @@ pub mod wire;
 pub use cache::LruCache;
 pub use client::Client;
 pub use engine::{Engine, EngineCaps, SuiteEngine};
-pub use job::{FaultSpec, Fidelity, JobKey, JobSpec};
+pub use job::{FaultSpec, Fidelity, JobKey, JobSpec, SearchSpec};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use metrics::{Ctr, ServeMetrics};
 pub use server::{Core, DrainSummary, ServeConfig, Server};

@@ -81,6 +81,10 @@ struct Job {
     canon: String,
     state: JobState,
     enqueued_at: Instant,
+    /// Progress events the engine has streamed so far (search jobs;
+    /// empty for everything else and for cache hits). Shared `Arc`s so
+    /// many watchers replay the same bytes without copying.
+    progress: Vec<Arc<String>>,
 }
 
 struct CoreState {
@@ -212,6 +216,7 @@ impl Core {
                     canon: key.canon.clone(),
                     state: JobState::Done(result),
                     enqueued_at: Instant::now(),
+                    progress: Vec::new(),
                 },
             );
             st.answered += 1;
@@ -258,6 +263,7 @@ impl Core {
                 canon: key.canon.clone(),
                 state: JobState::Queued,
                 enqueued_at: Instant::now(),
+                progress: Vec::new(),
             },
         );
         st.inflight.insert(key.canon.clone(), id);
@@ -300,6 +306,61 @@ impl Core {
                 },
             }
             st = self.done_cv.wait(st).expect("server core poisoned");
+        }
+    }
+
+    /// Streams job `id` to `emit`: every progress event in order (as
+    /// [`Response::Progress`] with consecutive `seq`), then the terminal
+    /// [`Response::ResultOk`]/[`Response::ResultErr`] line, then returns.
+    /// `emit` returning `false` (a dead connection) aborts the stream.
+    /// The core lock is never held across an `emit` call.
+    pub fn watch(&self, id: u64, emit: &mut dyn FnMut(Response) -> bool) {
+        let mut sent = 0usize;
+        loop {
+            let (fresh, terminal) = {
+                let mut st = self.lock();
+                loop {
+                    let Some(job) = st.jobs.get(&id) else {
+                        drop(st);
+                        emit(Response::ProtocolError {
+                            error: format!("unknown job id {id}"),
+                        });
+                        return;
+                    };
+                    let fresh: Vec<Arc<String>> = job.progress[sent..].to_vec();
+                    let terminal = match &job.state {
+                        JobState::Done(r) => Some(Ok(r.clone())),
+                        JobState::Failed(e) => Some(Err(e.clone())),
+                        _ => None,
+                    };
+                    if !fresh.is_empty() || terminal.is_some() {
+                        break (fresh, terminal);
+                    }
+                    st = self.done_cv.wait(st).expect("server core poisoned");
+                }
+            };
+            for event in fresh {
+                let resp = Response::Progress {
+                    id,
+                    seq: sent as u64,
+                    event: event.as_ref().clone(),
+                };
+                sent += 1;
+                if !emit(resp) {
+                    return;
+                }
+            }
+            if let Some(terminal) = terminal {
+                let resp = match terminal {
+                    Ok(r) => Response::ResultOk {
+                        id,
+                        result: r.as_ref().clone(),
+                    },
+                    Err(e) => Response::ResultErr { id, error: e },
+                };
+                emit(resp);
+                return;
+            }
         }
     }
 
@@ -361,6 +422,10 @@ impl Core {
             Request::Submit(spec) => self.submit(spec),
             Request::Status(id) => self.status(id),
             Request::Result(id) => self.result(id),
+            // The TCP frontend streams `watch` itself (many lines per
+            // request); through the one-reply `handle` path it degrades
+            // to a blocking `result`.
+            Request::Watch(id) => self.result(id),
             Request::Stats => Response::Stats {
                 metrics: self.metrics.snapshot_line(),
             },
@@ -388,20 +453,38 @@ impl Core {
         }
     }
 
+    /// The progress sink for job `id`: appends the event under the core
+    /// lock and wakes watchers. `Send + Sync` so the detached timeout
+    /// thread can drive it; events from an abandoned (timed-out) job
+    /// land harmlessly on the already-failed entry, which watchers have
+    /// already left.
+    fn progress_sink(self: &Arc<Self>, id: u64) -> impl Fn(String) + Send + Sync {
+        let core = self.clone();
+        move |event: String| {
+            let mut st = core.lock();
+            if let Some(job) = st.jobs.get_mut(&id) {
+                job.progress.push(Arc::new(event));
+            }
+            drop(st);
+            core.done_cv.notify_all();
+        }
+    }
+
     /// Runs the engine with the configured wall-clock budget. With a
     /// timeout the engine runs on a detached thread; on expiry the worker
     /// abandons it and reports a structured error.
-    fn execute(self: &Arc<Self>, spec: JobSpec) -> Result<String, String> {
+    fn execute(self: &Arc<Self>, id: u64, spec: JobSpec) -> Result<String, String> {
         let timeout = self.cfg.job_timeout_ms;
         if timeout == 0 {
-            return self.engine.run(&spec);
+            return self.engine.run_streaming(&spec, &self.progress_sink(id));
         }
         type Slot = (Mutex<Option<Result<String, String>>>, Condvar);
         let slot: Arc<Slot> = Arc::new((Mutex::new(None), Condvar::new()));
         let thread_slot = slot.clone();
         let engine = self.engine.clone();
+        let sink = self.progress_sink(id);
         std::thread::spawn(move || {
-            let out = engine.run(&spec);
+            let out = engine.run_streaming(&spec, &sink);
             let (m, cv) = &*thread_slot;
             *m.lock().expect("timeout slot poisoned") = Some(out);
             cv.notify_all();
@@ -441,7 +524,7 @@ impl Core {
             drop(st);
 
             let started = Instant::now();
-            let outcome = self.execute(spec);
+            let outcome = self.execute(id, spec);
             self.metrics
                 .observe_job_wall_ms(started.elapsed().as_millis() as u64);
 
@@ -543,6 +626,23 @@ fn handle_connection(core: Arc<Core>, stream: TcpStream) {
     for line in reader.lines() {
         let Ok(line) = line else { return };
         if line.trim().is_empty() {
+            continue;
+        }
+        // `watch` is the one multi-line reply: stream progress events as
+        // they land, finish with the terminal result line, then resume
+        // the normal one-reply-per-line loop on the same connection.
+        if let Ok(Request::Watch(id)) = parse_request(&line) {
+            core.metrics.inc(Ctr::Requests, 1);
+            let mut alive = true;
+            core.watch(id, &mut |resp| {
+                let mut out = encode_response(&resp);
+                out.push('\n');
+                alive = writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok();
+                alive
+            });
+            if !alive {
+                return;
+            }
             continue;
         }
         let resp = core.handle_line(&line);
@@ -794,6 +894,99 @@ mod tests {
             panic!("post-drain submissions must be rejected");
         };
         assert_eq!(reason, "draining");
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    /// Engine that streams three progress events before finishing, to
+    /// exercise the watch path without a real search.
+    struct StreamingEngine;
+
+    impl Engine for StreamingEngine {
+        fn validate(&self, _spec: &JobSpec) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn run(&self, spec: &JobSpec) -> Result<String, String> {
+            self.run_streaming(spec, &|_| {})
+        }
+
+        fn run_streaming(
+            &self,
+            spec: &JobSpec,
+            emit: &(dyn Fn(String) + Send + Sync),
+        ) -> Result<String, String> {
+            for i in 0..3 {
+                emit(format!("{{\"app\":\"{}\",\"step\":{i}}}", spec.app));
+            }
+            Ok(format!("{{\"app\":\"{}\",\"done\":true}}", spec.app))
+        }
+    }
+
+    #[test]
+    fn watch_streams_progress_in_order_then_the_result() {
+        let core = Arc::new(Core::new(Arc::new(StreamingEngine), ServeConfig::default()));
+        let workers = start_workers(&core);
+        let Response::Submitted { id, .. } = core.submit(spec("swim")) else {
+            panic!("expected acceptance");
+        };
+        let mut got = Vec::new();
+        core.watch(id, &mut |resp| {
+            got.push(resp);
+            true
+        });
+        assert_eq!(got.len(), 4, "3 progress lines + 1 result: {got:?}");
+        for (i, resp) in got.iter().take(3).enumerate() {
+            let Response::Progress { seq, event, .. } = resp else {
+                panic!("expected progress, got {resp:?}");
+            };
+            assert_eq!(*seq, i as u64, "events must arrive in order");
+            assert_eq!(event, &format!("{{\"app\":\"swim\",\"step\":{i}}}"));
+        }
+        assert!(matches!(got[3], Response::ResultOk { .. }));
+        // A late watcher replays the full history identically.
+        let mut replay = Vec::new();
+        core.watch(id, &mut |resp| {
+            replay.push(resp);
+            true
+        });
+        assert_eq!(got, replay, "late watch must replay the same stream");
+        // Watching an unknown id errors immediately.
+        let mut bad = Vec::new();
+        core.watch(9999, &mut |resp| {
+            bad.push(resp);
+            true
+        });
+        assert!(matches!(bad.as_slice(), [Response::ProtocolError { .. }]));
+        core.drain();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn watch_streams_under_job_timeouts_too() {
+        // With a timeout configured the engine runs on a detached thread;
+        // the progress sink must still deliver.
+        let cfg = ServeConfig {
+            workers: 1,
+            job_timeout_ms: 10_000,
+            ..ServeConfig::default()
+        };
+        let core = Arc::new(Core::new(Arc::new(StreamingEngine), cfg));
+        let workers = start_workers(&core);
+        let Response::Submitted { id, .. } = core.submit(spec("mgrid")) else {
+            panic!("expected acceptance");
+        };
+        let mut got = Vec::new();
+        core.watch(id, &mut |resp| {
+            got.push(resp);
+            true
+        });
+        assert_eq!(got.len(), 4, "{got:?}");
+        assert!(matches!(got[3], Response::ResultOk { .. }));
+        core.drain();
         for w in workers {
             w.join().unwrap();
         }

@@ -14,7 +14,7 @@
 
 use crate::job::{
     fidelity_name, granularity_name, l2_name, parse_fidelity, parse_granularity, parse_kind,
-    parse_l2, parse_scale, scale_name, FaultSpec, Fidelity, JobSpec,
+    parse_l2, parse_scale, scale_name, FaultSpec, Fidelity, JobSpec, SearchSpec,
 };
 use hoploc_fault::FaultPlan;
 use hoploc_harness::kind_name;
@@ -30,6 +30,10 @@ pub enum Request {
     Status(u64),
     /// Wait for and fetch a job's result.
     Result(u64),
+    /// Stream a job's progress events as they land, then its final
+    /// result. For job kinds that never emit progress this degrades to
+    /// `result` with extra steps.
+    Watch(u64),
     /// Fetch the server metrics snapshot.
     Stats,
     /// Stop admitting, finish all accepted jobs, snapshot metrics, shut
@@ -100,6 +104,18 @@ pub enum Response {
         id: u64,
         /// Raw single-line JSON run record.
         result: String,
+    },
+    /// One progress event of a watched job: the raw event JSON bytes,
+    /// numbered so a client can detect (and a test can assert) in-order
+    /// delivery. A `watch` reply is any number of these followed by one
+    /// terminal `ResultOk`/`ResultErr` line.
+    Progress {
+        /// Job id.
+        id: u64,
+        /// 0-based event number within this job.
+        seq: u64,
+        /// Raw single-line JSON event object.
+        event: String,
     },
     /// A finished job's structured error (timeout, engine failure).
     ResultErr {
@@ -181,6 +197,16 @@ pub fn encode_job(spec: &JobSpec) -> String {
     if spec.fidelity != Fidelity::Cycle {
         let _ = write!(s, ",\"fidelity\":\"{}\"", fidelity_name(spec.fidelity));
     }
+    // Search fields are likewise absent unless the job is a search.
+    if let Some(search) = &spec.search {
+        let _ = write!(
+            s,
+            ",\"search_seed\":{},\"search_budget\":{},\"search_objective\":{}",
+            search.seed,
+            search.budget,
+            json_string(&search.objective),
+        );
+    }
     s.push('}');
     s
 }
@@ -195,6 +221,9 @@ pub fn parse_job(v: &JsonValue) -> Result<JobSpec, String> {
     let mut spec = JobSpec::default();
     let mut fault_seed: Option<u64> = None;
     let mut fault_plan: Option<FaultPlan> = None;
+    let mut search_seed: Option<u64> = None;
+    let mut search_budget: Option<u32> = None;
+    let mut search_objective: Option<String> = None;
     let mut saw_app = false;
     let mut saw_kind = false;
     for (k, val) in members {
@@ -244,6 +273,30 @@ pub fn parse_job(v: &JsonValue) -> Result<JobSpec, String> {
             "fidelity" => {
                 spec.fidelity = parse_fidelity(val.as_str().ok_or("fidelity must be a string")?)?;
             }
+            "search_seed" => {
+                search_seed = Some(
+                    val.as_u64()
+                        .ok_or("search_seed must be a non-negative integer")?,
+                );
+            }
+            "search_budget" => {
+                let n = val
+                    .as_u64()
+                    .ok_or("search_budget must be a non-negative integer")?;
+                if n == 0 || n > u64::from(u32::MAX) {
+                    return Err("search_budget must be between 1 and 4294967295".into());
+                }
+                search_budget = Some(n as u32);
+            }
+            "search_objective" => {
+                let text = val.as_str().ok_or("search_objective must be a string")?;
+                // Canonicalize up front so semantically identical objective
+                // spellings ("offchip,hops" vs "offchip+hops") key — and
+                // therefore cache and coalesce — identically.
+                let obj = hoploc_search::Objective::parse(text)
+                    .map_err(|e| format!("search_objective: {e}"))?;
+                search_objective = Some(obj.canon());
+            }
             other => return Err(format!("unknown job field {other:?}")),
         }
     }
@@ -261,6 +314,16 @@ pub fn parse_job(v: &JsonValue) -> Result<JobSpec, String> {
         (None, Some(plan)) => FaultSpec::Plan(plan),
         (None, None) => FaultSpec::None,
     };
+    // Any search_* field makes the job a search; unspecified knobs take
+    // the same defaults the CLI uses.
+    spec.search = match (search_seed, search_budget, search_objective) {
+        (None, None, None) => None,
+        (seed, budget, objective) => Some(SearchSpec {
+            seed: seed.unwrap_or(0),
+            budget: budget.unwrap_or(400),
+            objective: objective.unwrap_or_else(|| hoploc_search::Objective::default().canon()),
+        }),
+    };
     Ok(spec)
 }
 
@@ -270,6 +333,7 @@ pub fn encode_request(req: &Request) -> String {
         Request::Submit(spec) => format!("{{\"op\":\"submit\",\"job\":{}}}", encode_job(spec)),
         Request::Status(id) => format!("{{\"op\":\"status\",\"id\":{id}}}"),
         Request::Result(id) => format!("{{\"op\":\"result\",\"id\":{id}}}"),
+        Request::Watch(id) => format!("{{\"op\":\"watch\",\"id\":{id}}}"),
         Request::Stats => "{\"op\":\"stats\"}".to_string(),
         Request::Drain => "{\"op\":\"drain\"}".to_string(),
         Request::Ping => "{\"op\":\"ping\"}".to_string(),
@@ -295,6 +359,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "status" => Ok(Request::Status(id()?)),
         "result" => Ok(Request::Result(id()?)),
+        "watch" => Ok(Request::Watch(id()?)),
         "stats" => Ok(Request::Stats),
         "drain" => Ok(Request::Drain),
         "ping" => Ok(Request::Ping),
@@ -329,6 +394,9 @@ pub fn encode_response(resp: &Response) -> String {
         ),
         Response::ResultOk { id, result } => format!(
             "{{\"ok\":true,\"op\":\"result\",\"id\":{id},\"state\":\"done\",\"result\":{result}}}"
+        ),
+        Response::Progress { id, seq, event } => format!(
+            "{{\"ok\":true,\"op\":\"watch\",\"id\":{id},\"seq\":{seq},\"event\":{event}}}"
         ),
         Response::ResultErr { id, error } => format!(
             "{{\"ok\":true,\"op\":\"result\",\"id\":{id},\"state\":\"error\",\"error\":{}}}",
@@ -452,6 +520,12 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 other => Err(format!("unknown result state {other:?}")),
             }
         }
+        ("watch", true) => Ok(Response::Progress {
+            id: num_field("id")?,
+            seq: num_field("seq")?,
+            event: extract_raw_object(line, "event")
+                .ok_or("watch reply is missing its \"event\" object")?,
+        }),
         ("stats", true) => Ok(Response::Stats {
             metrics: extract_raw_object(line, "metrics")
                 .ok_or("stats reply is missing its \"metrics\" object")?,
@@ -504,6 +578,7 @@ mod tests {
         for req in [
             Request::Status(7),
             Request::Result(9),
+            Request::Watch(11),
             Request::Stats,
             Request::Drain,
             Request::Ping,
@@ -527,6 +602,72 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("fidelity"), "{err}");
+    }
+
+    #[test]
+    fn search_fields_round_trip_and_defaults_are_absent_from_the_wire() {
+        let mut s = spec();
+        s.search = Some(SearchSpec {
+            seed: 7,
+            budget: 120,
+            objective: "offchip+hops".into(),
+        });
+        let line = encode_request(&Request::Submit(s.clone()));
+        assert!(line.contains("\"search_seed\":7"), "{line}");
+        assert!(line.contains("\"search_budget\":120"), "{line}");
+        assert!(
+            line.contains("\"search_objective\":\"offchip+hops\""),
+            "{line}"
+        );
+        assert_eq!(parse_request(&line).unwrap(), Request::Submit(s));
+        // Non-search jobs never mention search on the wire.
+        let line = encode_request(&Request::Submit(spec()));
+        assert!(!line.contains("search"), "{line}");
+        // A single search field is enough to opt in; the rest default to
+        // the CLI defaults, and the objective is canonicalized on parse.
+        let line = r#"{"op":"submit","job":{"app":"swim","kind":"optimized","search_seed":3}}"#;
+        let Request::Submit(parsed) = parse_request(line).unwrap() else {
+            panic!("must parse as a submission");
+        };
+        let search = parsed.search.expect("search_seed opts into search");
+        assert_eq!((search.seed, search.budget), (3, 400));
+        assert_eq!(search.objective, "offchip+hops");
+        let line = r#"{"op":"submit","job":{"app":"swim","kind":"optimized","search_objective":"hops,offchip"}}"#;
+        let Request::Submit(parsed) = parse_request(line).unwrap() else {
+            panic!("must parse as a submission");
+        };
+        assert_eq!(parsed.search.unwrap().objective, "offchip+hops");
+        // Bad knobs are parse errors, not silent defaults.
+        for (line, needle) in [
+            (
+                r#"{"op":"submit","job":{"app":"a","kind":"optimized","search_budget":0}}"#,
+                "search_budget",
+            ),
+            (
+                r#"{"op":"submit","job":{"app":"a","kind":"optimized","search_objective":"latency"}}"#,
+                "search_objective",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}` -> `{err}`");
+        }
+    }
+
+    #[test]
+    fn progress_replies_round_trip_with_raw_event_bytes() {
+        let event = r#"{"app":"apsi","phase":"anneal","evaluated":41,"best_score":0.356519,"best":{"mcs":[18,21,42,45]}}"#;
+        let resp = Response::Progress {
+            id: 5,
+            seq: 3,
+            event: event.to_string(),
+        };
+        let line = encode_response(&resp);
+        assert!(!line.contains('\n'), "one line: {line}");
+        assert_eq!(parse_response(&line).unwrap(), resp, "{line}");
+        let Response::Progress { event: back, .. } = parse_response(&line).unwrap() else {
+            panic!("must parse as progress");
+        };
+        assert_eq!(back, event, "event bytes must cross the wire unchanged");
     }
 
     #[test]

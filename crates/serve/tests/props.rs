@@ -10,7 +10,7 @@ use hoploc_serve::wire::{
     encode_job, encode_request, encode_response, parse_request, parse_response, Request, Response,
     SubmitStatus,
 };
-use hoploc_serve::{FaultSpec, Fidelity, JobSpec};
+use hoploc_serve::{FaultSpec, Fidelity, JobSpec, SearchSpec};
 use hoploc_workloads::{RunKind, Scale};
 
 const APPS: [&str; 6] = ["swim", "mgrid", "apsi", "cg", "mg", "equake"];
@@ -65,6 +65,18 @@ fn random_spec(rng: &mut SmallRng) -> JobSpec {
         } else {
             Fidelity::Est
         },
+        // Objectives are sampled in canon form: the parser canonicalizes
+        // on the way in, so only canon strings survive a round trip.
+        search: if rng.u64_below(4) == 0 {
+            Some(SearchSpec {
+                seed: rng.next_u64() % 1000,
+                budget: (rng.u64_below(500) + 1) as u32,
+                objective: ["offchip+hops", "offchip", "offchip+hops+queue"][rng.usize_in(0..3)]
+                    .to_string(),
+            })
+        } else {
+            None
+        },
     }
 }
 
@@ -92,6 +104,11 @@ fn shuffled_job_json(spec: &JobSpec, rng: &mut SmallRng) -> String {
     // Mirror the encoder: the default tier is never written.
     if spec.fidelity != Fidelity::Cycle {
         fields.push("\"fidelity\":\"est\"".to_string());
+    }
+    if let Some(search) = &spec.search {
+        fields.push(format!("\"search_seed\":{}", search.seed));
+        fields.push(format!("\"search_budget\":{}", search.budget));
+        fields.push(format!("\"search_objective\":\"{}\"", search.objective));
     }
     // Fisher-Yates with the property rng.
     for i in (1..fields.len()).rev() {
@@ -129,6 +146,7 @@ fn pre_fidelity_requests_parse_and_key_identically() {
     run_cases("serve.key.prefidelity", 200, |rng| {
         let mut spec = random_spec(rng);
         spec.fidelity = Fidelity::Cycle;
+        spec.search = None;
         let old_line = shuffled_job_json(&spec, rng);
         assert!(
             !old_line.contains("fidelity"),

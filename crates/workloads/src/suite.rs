@@ -29,6 +29,27 @@ pub fn layout_for(
     sim: &SimConfig,
     kind: RunKind,
 ) -> ProgramLayout {
+    layout_with(
+        app,
+        mapping,
+        sim,
+        kind,
+        PassConfig::default().approx_threshold,
+    )
+}
+
+/// [`layout_for`] with an explicit approximation threshold (the layout
+/// pass's `approx_threshold` knob). Design-space search varies this
+/// per candidate; verification must replay the candidate's exact plan,
+/// so the threshold travels with the layout request rather than being
+/// pinned to the pass default.
+pub fn layout_with(
+    app: &App,
+    mapping: &L2ToMcMapping,
+    sim: &SimConfig,
+    kind: RunKind,
+    approx_threshold: f64,
+) -> ProgramLayout {
     match kind {
         RunKind::Optimized => {
             let cfg = PassConfig {
@@ -37,7 +58,7 @@ pub fn layout_for(
                 shared_policy: SharedPolicy::OnChipFirst,
                 line_bytes: sim.l2.line_bytes as u32,
                 page_bytes: sim.page_bytes as u32,
-                ..PassConfig::default()
+                approx_threshold,
             };
             optimize_program(&app.program, mapping, cfg)
         }

@@ -42,6 +42,10 @@ pub struct Options {
     pub repeat: usize,
     pub max_retries: u64,
     pub drain: bool,
+    // search
+    pub seed: u64,
+    pub budget: u32,
+    pub objective: String,
 }
 
 impl Default for Options {
@@ -73,6 +77,9 @@ impl Default for Options {
             repeat: 2,
             max_retries: 10_000,
             drain: false,
+            seed: 0,
+            budget: 400,
+            objective: "offchip,hops".to_string(),
         }
     }
 }
@@ -122,6 +129,16 @@ pub fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
         // `est` and `bench` sweep the full configuration matrix (or time
         // every phase) themselves, so they take no per-config shape flags.
         "est" | "bench" => v.extend(["--scale", "--jobs", "--json"]),
+        // `search` explores placements/granularities itself; the only
+        // shape flags it takes set the baseline machine.
+        "search" => v.extend([
+            "--scale",
+            "--jobs",
+            "--json",
+            "--seed",
+            "--budget",
+            "--objective",
+        ]),
         "trace" => {
             v.extend(SIM);
             v.extend(["--jobs", "--config", "--out", "--epoch", "--span-cap"]);
@@ -237,6 +254,14 @@ fn apply(o: &mut Options, flag: &str, value: Option<&str>) -> Result<(), String>
             }
         }
         "--max-retries" => o.max_retries = parse_num(flag, val())?,
+        "--seed" => o.seed = parse_num(flag, val())?,
+        "--budget" => {
+            o.budget = parse_num(flag, val())?;
+            if o.budget == 0 {
+                return Err("--budget needs at least 1 evaluation".into());
+            }
+        }
+        "--objective" => o.objective = val().to_string(),
         other => return Err(format!("unhandled flag `{other}` (parser bug)")),
     }
     Ok(())
@@ -345,6 +370,34 @@ mod tests {
             let err = parse(cmd, &args(&["--shared"])).unwrap_err();
             assert!(err.contains(&format!("hoploc {cmd}")), "{err}");
         }
+    }
+
+    #[test]
+    fn search_flags_parse() {
+        let o = parse(
+            "search",
+            &args(&[
+                "--scale",
+                "test",
+                "--seed",
+                "7",
+                "--budget",
+                "120",
+                "--objective",
+                "offchip:2,hops",
+                "--json",
+                "-",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(o.scale, Scale::Test);
+        assert_eq!((o.seed, o.budget), (7, 120));
+        assert_eq!(o.objective, "offchip:2,hops");
+        assert_eq!(o.json.as_deref(), Some("-"));
+        let err = parse("search", &args(&["--m2"])).unwrap_err();
+        assert!(err.contains("hoploc search"), "{err}");
+        assert!(err.contains("--budget"), "{err}");
+        assert!(parse("search", &args(&["--budget", "0"])).is_err());
     }
 
     #[test]

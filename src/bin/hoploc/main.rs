@@ -14,6 +14,13 @@
 //! hoploc bench [options]           time every pipeline phase (layout,
 //!                                  estimate, simulate) over the suite and
 //!                                  emit the wall-clock baseline JSON
+//! hoploc search <app|all> [options] seeded design-space search over MC
+//!                                  placements, cluster maps, and layout
+//!                                  plans: branch-and-bound + simulated
+//!                                  annealing scored by the static
+//!                                  estimator, top candidates verified by
+//!                                  the cycle sim against the paper's
+//!                                  corner/edge/diamond placements
 //! hoploc trace <app> [options]     simulate with full request-lifecycle
 //!                                  tracing; write Chrome-trace JSON
 //!                                  (Perfetto-loadable), a metrics snapshot,
@@ -61,6 +68,14 @@
 //!   --span-cap <n>                 (trace) record spans for the first n
 //!                                  requests only (0 = unlimited)
 //!   --plan <seed|file>             (faults) a u64 seed or a plan file
+//!   --seed <n>                     (search) master seed, forked per app
+//!                                  (default 0)
+//!   --budget <n>                   (search) estimator evaluations per app
+//!                                  (default 400)
+//!   --objective <terms>            (search) comma list of offchip, hops,
+//!                                  queue, each optionally `name:weight`
+//!                                  (default offchip,hops; queue excluded —
+//!                                  see DESIGN.md §14)
 //!   --addr <host:port>             (serve, load) server address
 //!                                  (default 127.0.0.1:7077; port 0 picks
 //!                                  a free port and prints it)
@@ -100,7 +115,7 @@ use hoploc::harness::{
 use hoploc::layout::{
     codegen, determine_data_to_core, optimize_program, Granularity, L2Mode, PassConfig,
 };
-use hoploc::noc::{L2ToMcMapping, McPlacement};
+use hoploc::noc::{L2ToMcMapping, McPlacement, Placement};
 use hoploc::obs::{validate_chrome_trace, ObsConfig};
 use hoploc::serve::{
     load::{render_report, report_json},
@@ -125,11 +140,12 @@ fn sim(o: &Options) -> SimConfig {
 }
 
 fn mapping(o: &Options, sim: &SimConfig) -> L2ToMcMapping {
-    if o.m2 {
-        L2ToMcMapping::halves(sim.mesh, &McPlacement::Corners)
+    let placement = if o.m2 {
+        Placement::halves(sim.mesh, &McPlacement::Corners)
     } else {
-        L2ToMcMapping::nearest_cluster(sim.mesh, &sim.placement)
-    }
+        Placement::nearest(sim.mesh, &sim.placement)
+    };
+    placement.into_mapping()
 }
 
 /// The (single-app or whole-suite) harness all simulation commands run
@@ -914,13 +930,87 @@ fn cmd_load(o: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `hoploc search <app|all>`: seeded design-space search over MC
+/// placement, cluster maps, and layout-plan parameters, scored by the
+/// static estimator and cycle-sim verified against the paper placements.
+fn cmd_search(target: &str, o: &Options) -> ExitCode {
+    let objective = match hoploc::search::Objective::parse(&o.objective) {
+        Ok(obj) => obj,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(USAGE);
+        }
+    };
+    let apps: Vec<App> = if target == "all" {
+        all_apps(o.scale)
+    } else {
+        match find_app(target, o.scale) {
+            Some(a) => vec![a],
+            None => {
+                eprintln!("unknown application {target}; try `hoploc apps`");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let cfg = hoploc::search::SearchConfig {
+        seed: o.seed,
+        budget: o.budget,
+        objective,
+        ..hoploc::search::SearchConfig::new(sim(o), o.scale)
+    };
+    let results = hoploc::search::search_suite(&apps, &cfg, o.jobs);
+    if o.json.as_deref() == Some("-") {
+        // Streaming form: progress-event lines then the report line, per
+        // app in suite order — byte-identical to a serve `watch` stream
+        // of the same seed.
+        for (report, events) in &results {
+            for e in events {
+                println!("{e}");
+            }
+            println!("{}", report.to_json());
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!("{}", hoploc::search::text_header());
+    for (report, _) in &results {
+        println!("{}", report.text_row());
+    }
+    let wins = results
+        .iter()
+        .filter(|(r, _)| r.beats_diamond() && r.beats_edge())
+        .count();
+    println!(
+        "\nseed {}, budget {}: found designs beat both paper placements \
+         (diamond and edge) on {wins}/{} app(s)",
+        cfg.seed,
+        cfg.budget,
+        results.len()
+    );
+    if let Some(target) = &o.json {
+        let mut out = String::new();
+        for (report, events) in &results {
+            for e in events {
+                out.push_str(e);
+                out.push('\n');
+            }
+            out.push_str(&report.to_json());
+            out.push('\n');
+        }
+        if let Err(e) = emit_json(target, &out) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
             "usage: hoploc <apps|compile <app>|check <app|all>|est <app|all>|run <app>\
-             |links <app>|sweep|bench|trace <app>|trace-validate <file...>|faults <app>\
-             |serve|load> [options]"
+             |links <app>|sweep|bench|search <app|all>|trace <app>\
+             |trace-validate <file...>|faults <app>|serve|load> [options]"
         );
         eprintln!("see the module docs (or README.md) for the option list");
         ExitCode::from(USAGE)
@@ -933,7 +1023,7 @@ fn main() -> ExitCode {
     }
     // Subcommands with a positional argument parse options after it.
     let rest_start = match cmd.as_str() {
-        "compile" | "run" | "links" | "check" | "est" | "trace" | "faults" => 2,
+        "compile" | "run" | "links" | "check" | "est" | "search" | "trace" | "faults" => 2,
         _ => 1,
     };
     let opts = match parse(&cmd, &args[rest_start.min(args.len())..]) {
@@ -972,6 +1062,12 @@ fn main() -> ExitCode {
                 return usage();
             };
             return cmd_est(target, &opts);
+        }
+        "search" => {
+            let Some(target) = args.get(1) else {
+                return usage();
+            };
+            return cmd_search(target, &opts);
         }
         "sweep" => cmd_sweep(&opts),
         "bench" => return cmd_bench(&opts),

@@ -36,6 +36,11 @@
 //!   queue pressure from access matrices and layout plans alone, emits
 //!   the `HL10xx` predicted-performance diagnostics, and cross-validates
 //!   itself against the cycle simulator by Spearman rank correlation;
+//! * [`search`] — seeded, deterministic design-space search (`hoploc
+//!   search`): simulated annealing plus exact branch-and-bound over MC
+//!   placements, L2-to-MC cluster maps, and layout-plan parameters,
+//!   scored by the static estimator with top candidates verified by the
+//!   cycle simulator against the paper's fixed placements;
 //! * [`serve`] — simulation-as-a-service (`hoploc serve` / `hoploc
 //!   load`): a std-only TCP job server with a bounded queue, explicit
 //!   backpressure, in-flight coalescing, a bounded LRU result cache keyed
@@ -58,6 +63,7 @@ pub use hoploc_layout as layout;
 pub use hoploc_mem as mem;
 pub use hoploc_noc as noc;
 pub use hoploc_obs as obs;
+pub use hoploc_search as search;
 pub use hoploc_serve as serve;
 pub use hoploc_sim as sim;
 pub use hoploc_workloads as workloads;
