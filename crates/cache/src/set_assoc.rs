@@ -88,6 +88,12 @@ pub struct AccessResult {
     pub evicted: Option<u64>,
     /// Whether the evicted line was dirty (needs a writeback).
     pub evicted_dirty: bool,
+    /// The hit landed on a line installed by a prefetch that had not been
+    /// demanded yet (the prefetch proved *useful*; the mark is cleared).
+    pub prefetched_hit: bool,
+    /// The evicted line was a prefetch nobody ever demanded (the prefetch
+    /// proved *harmful*: pure pollution).
+    pub evicted_prefetched: bool,
 }
 
 /// Hit/miss counters.
@@ -121,6 +127,8 @@ struct Way {
     valid: bool,
     dirty: bool,
     last_used: u64,
+    /// Installed by a prefetch and not yet touched by a demand access.
+    prefetched: bool,
 }
 
 /// A tag-only set-associative LRU cache.
@@ -159,7 +167,8 @@ impl SetAssocCache {
                         tag: 0,
                         valid: false,
                         dirty: false,
-                        last_used: 0
+                        last_used: 0,
+                        prefetched: false
                     };
                     config.ways
                 ];
@@ -224,11 +233,15 @@ impl SetAssocCache {
         if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
             w.last_used = self.clock;
             w.dirty |= write;
+            let prefetched_hit = w.prefetched;
+            w.prefetched = false;
             self.stats.hits += 1;
             return AccessResult {
                 hit: true,
                 evicted: None,
                 evicted_dirty: false,
+                prefetched_hit,
+                evicted_prefetched: false,
             };
         }
         // Miss: fill an invalid way, else evict LRU.
@@ -241,21 +254,82 @@ impl SetAssocCache {
                 .map(|(i, _)| i)
                 .expect("non-empty set")
         };
-        let (evicted, evicted_dirty) = if set[victim].valid {
-            (Some(set[victim].tag), set[victim].dirty)
+        let (evicted, evicted_dirty, evicted_prefetched) = if set[victim].valid {
+            (
+                Some(set[victim].tag),
+                set[victim].dirty,
+                set[victim].prefetched,
+            )
         } else {
-            (None, false)
+            (None, false, false)
         };
         set[victim] = Way {
             tag: line,
             valid: true,
             dirty: write,
             last_used: self.clock,
+            prefetched: false,
         };
         AccessResult {
             hit: false,
             evicted,
             evicted_dirty,
+            prefetched_hit: false,
+            evicted_prefetched,
+        }
+    }
+
+    /// Installs a prefetched line without touching the demand statistics:
+    /// [`CacheStats`] keep counting demand traffic only, so a run's hit
+    /// rates stay comparable across prefetch settings. A line that is
+    /// already resident is left exactly as it is (the demand that raced
+    /// the prefetch owns it); otherwise the line fills an invalid way or
+    /// evicts LRU, is marked [`prefetched`](AccessResult::prefetched_hit)
+    /// until first demand touch, and any victim is reported as usual.
+    pub fn install_prefetch(&mut self, line: u64) -> AccessResult {
+        self.clock += 1;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if set.iter().any(|w| w.valid && w.tag == line) {
+            return AccessResult {
+                hit: true,
+                evicted: None,
+                evicted_dirty: false,
+                prefetched_hit: false,
+                evicted_prefetched: false,
+            };
+        }
+        let victim = if let Some(i) = set.iter().position(|w| !w.valid) {
+            i
+        } else {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        };
+        let (evicted, evicted_dirty, evicted_prefetched) = if set[victim].valid {
+            (
+                Some(set[victim].tag),
+                set[victim].dirty,
+                set[victim].prefetched,
+            )
+        } else {
+            (None, false, false)
+        };
+        set[victim] = Way {
+            tag: line,
+            valid: true,
+            dirty: false,
+            last_used: self.clock,
+            prefetched: true,
+        };
+        AccessResult {
+            hit: false,
+            evicted,
+            evicted_dirty,
+            prefetched_hit: false,
+            evicted_prefetched,
         }
     }
 
@@ -399,6 +473,54 @@ mod tests {
         assert_eq!(rep.counter_family("cache.l2.evictions")[3], 1);
         assert_eq!(rep.counter_family("cache.l1.accesses")[1], 1);
         assert_eq!(rep.counter_family("cache.l1.hits")[1], 0);
+    }
+
+    #[test]
+    fn install_prefetch_marks_until_first_demand_touch() {
+        let mut c = tiny();
+        let r = c.install_prefetch(4);
+        assert!(!r.hit && r.evicted.is_none());
+        assert!(c.contains(4));
+        assert_eq!(c.stats().accesses, 0, "installs are not demand accesses");
+        // First demand touch reports (and clears) the prefetched mark.
+        let r = c.access(4);
+        assert!(r.hit && r.prefetched_hit);
+        let r = c.access(4);
+        assert!(r.hit && !r.prefetched_hit, "mark must clear after one hit");
+    }
+
+    #[test]
+    fn untouched_prefetch_reports_harmful_on_eviction() {
+        let mut c = tiny();
+        c.install_prefetch(0); // set 0
+        c.access(2); // set 0
+        c.access(2);
+        let r = c.access(4); // set 0: evicts the untouched prefetch (LRU)
+        assert_eq!(r.evicted, Some(0));
+        assert!(r.evicted_prefetched);
+        // A demanded-then-evicted prefetch is not pollution.
+        c.install_prefetch(6);
+        c.access(6);
+        c.access(2);
+        c.access(2);
+        let r = c.access(8);
+        assert!(!r.evicted_prefetched, "touched prefetch is not harmful");
+    }
+
+    #[test]
+    fn install_prefetch_is_a_noop_on_resident_lines() {
+        let mut c = tiny();
+        c.access_rw(3, true);
+        let r = c.install_prefetch(3);
+        assert!(r.hit);
+        // The demand-owned line keeps its dirtiness and is NOT marked
+        // prefetched: a later hit must not count as useful.
+        assert!(!c.access(3).prefetched_hit);
+        c.access(1);
+        c.access(1);
+        let r = c.access(5); // evicts 3
+        assert_eq!(r.evicted, Some(3));
+        assert!(r.evicted_dirty, "dirtiness survives a racing install");
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! dashboards) can match on codes rather than message text. Codes are
 //! grouped by analysis: `HL01xx` layout legality, `HL02xx` parallelization
 //! races, `HL03xx` bounds and overflow lints, `HL10xx` static performance
-//! predictions (produced by the `hoploc-est` estimator, which depends on
-//! this crate — not the other way around).
+//! predictions, and `HL11xx` prefetch advisories (the last two produced
+//! by the `hoploc-est` estimator, which depends on this crate — not the
+//! other way around; `HL11xx` is opt-in, emitted only when a prefetch
+//! mode is requested).
 
 use std::fmt;
 use std::fmt::Write as _;
@@ -127,6 +129,16 @@ pub enum Code {
     /// The prediction involves index-table references, where the static
     /// model is a coarse approximation.
     EstimateApproximate,
+    // ── HL11xx: prefetch advisories (opt-in; emitted only when the
+    //    requested prefetch mode is not `off`) ──────────────────────────
+    /// A significant share of the application's accesses go through index
+    /// tables, where a stride/stream prefetcher learns nothing — the
+    /// requested engine is predicted useless for that traffic.
+    PrefetchUselessOnIndexed,
+    /// The estimator predicts the application is L2-resident, so the
+    /// requested prefetcher can only pollute a cache that already holds
+    /// the working set — predicted harmful, not merely useless.
+    PrefetchPredictedHarmful,
 }
 
 impl Code {
@@ -161,6 +173,8 @@ impl Code {
             Code::PredictedMcImbalance => "HL1002",
             Code::PredictedCapacityStreaming => "HL1003",
             Code::EstimateApproximate => "HL1004",
+            Code::PrefetchUselessOnIndexed => "HL1101",
+            Code::PrefetchPredictedHarmful => "HL1102",
         }
     }
 
@@ -187,14 +201,16 @@ impl Code {
             | Code::DeadArray
             | Code::StrideOverflowRisk
             | Code::PredictedPlanIneffective
-            | Code::PredictedMcImbalance => Severity::Warning,
+            | Code::PredictedMcImbalance
+            | Code::PrefetchPredictedHarmful => Severity::Warning,
             Code::ArraySkipped
             | Code::HaloCarriedDependence
             | Code::IndexedSharing
             | Code::EmptyIterationDomain
             | Code::UnusedTable
             | Code::PredictedCapacityStreaming
-            | Code::EstimateApproximate => Severity::Note,
+            | Code::EstimateApproximate
+            | Code::PrefetchUselessOnIndexed => Severity::Note,
         }
     }
 }

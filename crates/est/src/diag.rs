@@ -9,6 +9,16 @@
 //! | HL1003 | note     | the working set is predicted to stream through the L2 |
 //! | HL1004 | note     | the prediction involves index-table references (coarse model) |
 //!
+//! The HL11xx *prefetch advisories* ([`prefetch_diagnostics`]) judge a
+//! *requested* prefetch mode against the same static model, so they run
+//! only when `hoploc check` is invoked with `--prefetch` (warnings for a
+//! knob nobody asked for would trip `--deny warnings` CI gates):
+//!
+//! | Code   | Severity | Finding |
+//! |--------|----------|---------|
+//! | HL1101 | note     | a significant share of accesses go through index tables the prefetcher cannot learn |
+//! | HL1102 | warning  | the app is predicted L2-resident, so prefetching can only pollute |
+//!
 //! The low-level queries ([`check_array_plan`], [`array_plan_hops`],
 //! [`baseline_hops`]) take a bare [`ArrayLayout`] so tests can feed
 //! deliberately bad plans built with [`ArrayLayout::from_parts`] and
@@ -240,6 +250,77 @@ pub fn performance_diagnostics(
                 ),
             )
             .with_config(label),
+        );
+    }
+    out
+}
+
+/// HL1102 fires when the predicted off-chip fraction sits at or below
+/// this — an app whose demand stream the L2 already absorbs has nothing
+/// for a prefetcher to cover, so every speculative fill is pollution.
+pub const L2_RESIDENT_CEILING: f64 = 0.01;
+
+/// The HL11xx prefetch advisories: judges a *requested* prefetch engine
+/// against the static model. Opt-in — `hoploc check` runs this only when
+/// invoked with `--prefetch <mode>` (`mode_name` is that mode's wire
+/// name, echoed into the findings), because HL1102 is a warning and must
+/// not trip `--deny warnings` gates for users who never asked about
+/// prefetching.
+pub fn prefetch_diagnostics(
+    app: &App,
+    layout: &ProgramLayout,
+    mapping: &L2ToMcMapping,
+    cfg: &EstConfig,
+    label: &str,
+    mode_name: &str,
+) -> Vec<Diagnostic> {
+    let est = estimate_app(app, layout, mapping, RunKind::Optimized, cfg);
+    let name = app.name();
+    let mut out = Vec::new();
+    let indexed_share = 1.0 - est.prefetchability();
+    if indexed_share >= TRAFFIC_SIGNIFICANCE {
+        let names: Vec<&str> = est
+            .arrays
+            .iter()
+            .filter(|a| a.indexed)
+            .map(|a| a.array.as_str())
+            .collect();
+        out.push(
+            Diagnostic::new(
+                Code::PrefetchUselessOnIndexed,
+                name,
+                format!(
+                    "{:.0}% of accesses go through index tables ({}) whose \
+                     address streams carry no stride; the {mode_name} \
+                     prefetcher is predicted useless for that traffic",
+                    indexed_share * 100.0,
+                    names.join(", "),
+                ),
+            )
+            .with_config(label)
+            .with_help(
+                "indexed traffic trains nothing and gains nothing; expect \
+                 coverage no higher than the app's affine access share",
+            ),
+        );
+    }
+    if !est.streaming && est.offchip_fraction() <= L2_RESIDENT_CEILING {
+        out.push(
+            Diagnostic::new(
+                Code::PrefetchPredictedHarmful,
+                name,
+                format!(
+                    "predicted L2-resident ({:.2}% of accesses off-chip): the \
+                     {mode_name} prefetcher has nothing to cover and its \
+                     fills can only evict live lines",
+                    est.offchip_fraction() * 100.0,
+                ),
+            )
+            .with_config(label)
+            .with_help(
+                "run this app with --prefetch off, or gate on the off-chip \
+                 predictor (--prefetch gated) so the throttle idles the engine",
+            ),
         );
     }
     out

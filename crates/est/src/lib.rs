@@ -38,7 +38,8 @@ mod xval;
 
 pub use diag::{
     array_plan_hops, baseline_hops, check_array_plan, performance_diagnostics, plan_mc_shares,
-    HOP_IMPROVEMENT_FLOOR, MC_SHARE_CEILING, TRAFFIC_SIGNIFICANCE,
+    prefetch_diagnostics, HOP_IMPROVEMENT_FLOOR, L2_RESIDENT_CEILING, MC_SHARE_CEILING,
+    TRAFFIC_SIGNIFICANCE,
 };
 pub use model::{
     estimate_app, estimate_app_fresh, estimate_placement, AppEstimate, ArrayEstimate, EstConfig,
@@ -67,7 +68,7 @@ pub fn est_record_json(e: &AppEstimate) -> String {
         "{{\"app\": \"{}\", \"kind\": \"{}\", \"fidelity\": \"est\", \
          \"total_accesses\": {}, \"offchip_accesses\": {}, \"offchip_fraction\": {}, \
          \"avg_offchip_hops\": {}, \"queue_pressure\": {}, \"mc_shares\": [{}], \
-         \"streaming\": {}}}",
+         \"streaming\": {}, \"prefetchability\": {}}}",
         esc(&e.app),
         hoploc_harness::kind_name(e.kind),
         e.total_accesses,
@@ -77,5 +78,6 @@ pub fn est_record_json(e: &AppEstimate) -> String {
         num(e.queue_pressure),
         shares,
         e.streaming,
+        num(e.prefetchability()),
     )
 }

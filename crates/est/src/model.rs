@@ -181,6 +181,24 @@ impl AppEstimate {
         }
         self.predicted_offchip as f64 / self.total_accesses as f64
     }
+
+    /// Fraction of accesses a stride/stream prefetcher can learn from:
+    /// accesses through affine (non-index-table) references. Indexed
+    /// references follow profiled tables, so their address streams carry
+    /// no stride for the reference-keyed tables to lock onto.
+    pub fn prefetchability(&self) -> f64 {
+        let total: u64 = self.refs.iter().map(|r| r.accesses).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let affine: u64 = self
+            .refs
+            .iter()
+            .filter(|r| !r.indexed)
+            .map(|r| r.accesses)
+            .sum();
+        affine as f64 / total as f64
+    }
 }
 
 /// Number of `line`-byte lines overlapped by an element box (inclusive

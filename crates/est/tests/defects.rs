@@ -5,9 +5,13 @@
 //! that streams (HL1003), an index-table prediction (HL1004) — and the
 //! bundled suite is pinned warning-free so `--deny warnings` stays green.
 
-use hoploc_affine::{AffineAccess, ArrayDecl, ArrayRef, IMat, Loop, LoopNest, Program, Statement};
+use hoploc_affine::{
+    AffineAccess, AffineExpr, ArrayDecl, ArrayRef, IMat, Loop, LoopNest, Program, Statement,
+};
 use hoploc_check::{Code, Severity};
-use hoploc_est::{check_array_plan, performance_diagnostics, standard_configs, EstConfig};
+use hoploc_est::{
+    check_array_plan, performance_diagnostics, prefetch_diagnostics, standard_configs, EstConfig,
+};
 use hoploc_layout::{AppProfile, ArrayLayout};
 use hoploc_noc::{L2ToMcMapping, NodeId};
 use hoploc_sim::SimConfig;
@@ -148,6 +152,96 @@ fn hl1004_fires_on_index_table_predictions() {
         caveat.message.contains("index-table"),
         "caveat must name the model: {}",
         caveat.message
+    );
+}
+
+/// Wraps a program in an [`App`] with a neutral profile for the
+/// prefetch-advisory tests.
+fn toy_app(p: Program) -> App {
+    App {
+        program: p,
+        profile: AppProfile {
+            offchip_per_kcycle: 2.0,
+            sharing_fraction: 0.0,
+        },
+        gen: TraceGen::default(),
+        first_touch_friendly: false,
+        mlp: 1,
+    }
+}
+
+/// HL1101: an app whose only traffic goes through an index table gives
+/// the stride/stream engines nothing to learn — the advisory must say so,
+/// as a note (useless, not harmful).
+#[test]
+fn hl1101_fires_when_indexed_accesses_dominate() {
+    let n = 4096i64;
+    let mut p = Program::new("tabled");
+    let x = p.add_array(ArrayDecl::new("X", vec![n], 8));
+    let t = p.add_table((0..n).collect());
+    p.add_nest(LoopNest::new(
+        vec![Loop::constant(0, n)],
+        0,
+        vec![Statement::new(
+            vec![ArrayRef::indexed_read(x, t, AffineExpr::var(1, 0))],
+            1,
+        )],
+        1,
+    ));
+    let app = toy_app(p);
+    let (sim, mapping, _) = machine();
+    let layout = layout_for(&app, &mapping, &sim, hoploc_workloads::RunKind::Optimized);
+    let cfg = EstConfig::from_sim(&sim);
+    let ds = prefetch_diagnostics(&app, &layout, &mapping, &cfg, "inj", "stride");
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::PrefetchUselessOnIndexed)
+        .expect("HL1101 must fire on all-indexed traffic");
+    assert_eq!(d.severity(), Severity::Note);
+    assert!(d.message.contains("stride"), "{}", d.message);
+    assert!(d.message.contains("X"), "{}", d.message);
+}
+
+/// HL1102: a working set that fits the L2 with a long-running reuse loop
+/// is predicted resident — prefetching can only pollute, which is worth a
+/// warning. The same shape at streaming size must stay quiet.
+#[test]
+fn hl1102_fires_when_the_app_is_predicted_l2_resident() {
+    // `rereads` same-element reads per iteration: the cold-miss lines
+    // amortize over that much reuse, driving the off-chip fraction down.
+    let resident = |dim: i64, rereads: usize| {
+        let mut p = Program::new("tiny");
+        let a = p.add_array(ArrayDecl::new("A", vec![dim, dim], 8));
+        p.add_nest(LoopNest::new(
+            vec![Loop::constant(0, dim), Loop::constant(0, dim)],
+            0,
+            vec![Statement::new(
+                vec![ArrayRef::read(a, AffineAccess::identity(2)); rereads],
+                1,
+            )],
+            1,
+        ));
+        toy_app(p)
+    };
+    let (sim, mapping, _) = machine();
+    let cfg = EstConfig::from_sim(&sim);
+    let app = resident(16, 16);
+    let layout = layout_for(&app, &mapping, &sim, hoploc_workloads::RunKind::Optimized);
+    let ds = prefetch_diagnostics(&app, &layout, &mapping, &cfg, "inj", "stream");
+    let d = ds
+        .iter()
+        .find(|d| d.code == Code::PrefetchPredictedHarmful)
+        .expect("HL1102 must fire on a resident working set");
+    assert_eq!(d.severity(), Severity::Warning);
+    assert!(d.message.contains("stream"), "{}", d.message);
+
+    // A 2048×2048 sweep streams: no resident-pollution warning.
+    let big = resident(2048, 16);
+    let layout = layout_for(&big, &mapping, &sim, hoploc_workloads::RunKind::Optimized);
+    let ds = prefetch_diagnostics(&big, &layout, &mapping, &cfg, "inj", "stream");
+    assert!(
+        ds.iter().all(|d| d.code != Code::PrefetchPredictedHarmful),
+        "a streaming working set is exactly what prefetching is for: {ds:?}"
     );
 }
 

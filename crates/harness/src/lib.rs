@@ -662,6 +662,26 @@ pub fn record_json(r: &RunRecord) -> String {
         s.dropped_requests,
         s.backstop_flushes,
     );
+    // The prefetch block exists only when the run prefetched: an Off run's
+    // record stays byte-identical to pre-prefetch builds.
+    if !s.prefetch.is_empty() {
+        let p = &s.prefetch;
+        out.truncate(out.len() - 1);
+        let _ = write!(
+            out,
+            ", \"prefetch\": {{\"issued\": {}, \"useful\": {}, \"late\": {}, \
+             \"harmful\": {}, \"dropped\": {}, \"accuracy\": {:.6}, \
+             \"coverage\": {:.6}, \"pred_accuracy\": {:.6}}}}}",
+            p.issued,
+            p.useful,
+            p.late,
+            p.harmful,
+            p.dropped,
+            p.accuracy(),
+            p.coverage(s.offchip_accesses),
+            p.pred_accuracy(),
+        );
+    }
     out
 }
 
@@ -910,6 +930,36 @@ mod tests {
         assert!(unit.starts_with('{') && unit.ends_with('}'));
         assert!(!unit.contains('\n'), "record_json must be single-line");
         assert!(to_json(&recs, None).contains(&unit));
+    }
+
+    #[test]
+    fn record_json_adds_prefetch_block_only_when_prefetching_happened() {
+        use hoploc_sim::{PrefetchConfig, PrefetchMode};
+        let spec = [RunSpec {
+            app: 0,
+            kind: RunKind::Optimized,
+        }];
+        let off = suite2().run_matrix(&spec, 1);
+        let off_json = record_json(&off[0]);
+        assert!(
+            !off_json.contains("prefetch"),
+            "prefetch-off records must stay byte-identical to pre-prefetch \
+             builds: {off_json}"
+        );
+
+        let mut sim = SimConfig::scaled();
+        sim.prefetch = PrefetchConfig::with_mode(PrefetchMode::Gated);
+        let mapping = L2ToMcMapping::nearest_cluster(Mesh::new(8, 8), &sim.placement);
+        let on = Suite::new(vec![swim(Scale::Test), mgrid(Scale::Test)], mapping, sim)
+            .run_matrix(&spec, 1);
+        let on_json = record_json(&on[0]);
+        assert!(
+            on_json.contains("\"prefetch\": {\"issued\": ")
+                && on_json.contains("\"pred_accuracy\": "),
+            "gated run must report its prefetch block: {on_json}"
+        );
+        assert!(!on_json.contains('\n'), "record stays single-line");
+        assert!(on_json.ends_with("}}"));
     }
 
     #[test]

@@ -205,6 +205,14 @@ pub struct McStats {
     pub dropped: u64,
     /// Extra bank-busy cycles charged by active stall windows.
     pub fault_stall_cycles: u64,
+    /// Prefetch-class requests served. Kept out of [`served`](Self::served)
+    /// and the queue/service totals so demand-side conservation
+    /// (`served + dropped == off-chip demand`) and latency averages keep
+    /// their meaning with prefetching enabled.
+    pub pf_served: u64,
+    /// Prefetch-class requests dropped on a transient error. Prefetches
+    /// are speculative: they are never retried and never re-homed.
+    pub pf_dropped: u64,
 }
 
 impl McStats {
@@ -256,6 +264,10 @@ struct Pending {
     seq: u64,
     /// Failed service attempts so far (0 until a transient error).
     attempt: u32,
+    /// Speculative prefetch-class request: accounted separately, dropped
+    /// (never retried) on a transient error, invisible to the sink's
+    /// demand mirrors.
+    prefetch: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -390,16 +402,39 @@ impl MemoryController {
         mc: u16,
         sink: &Sink,
     ) -> Vec<Completion> {
+        self.enqueue_class_obs(addr, token, now, mc, false, sink)
+    }
+
+    /// [`enqueue_obs`](Self::enqueue_obs) with an explicit request class.
+    /// Prefetch-class requests share the banks, channels, and FR-FCFS
+    /// scheduling (they contend with demand exactly as real traffic
+    /// would), but are accounted in [`McStats::pf_served`] /
+    /// [`McStats::pf_dropped`] instead of the demand totals, are dropped
+    /// on the *first* transient error (speculative work is never worth a
+    /// retry), and leave the sink's demand mirrors untouched.
+    pub fn enqueue_class_obs(
+        &mut self,
+        addr: u64,
+        token: u64,
+        now: u64,
+        mc: u16,
+        prefetch: bool,
+        sink: &Sink,
+    ) -> Vec<Completion> {
         if self.config.ideal {
             // Optimal scheme: fixed row-hit service, no queueing, no bank
             // or channel contention.
             let service = self.config.timing.row_hit_cycles + self.config.timing.burst_cycles;
-            self.stats.served += 1;
-            self.stats.row_hits += 1;
-            self.stats.total_service_cycles += service;
-            let row = addr / self.config.row_bytes;
-            let bank = (row % self.config.banks as u64) as u16;
-            sink.bank_service(mc, bank, token, now, now, now + service, true, 0);
+            if prefetch {
+                self.stats.pf_served += 1;
+            } else {
+                self.stats.served += 1;
+                self.stats.row_hits += 1;
+                self.stats.total_service_cycles += service;
+                let row = addr / self.config.row_bytes;
+                let bank = (row % self.config.banks as u64) as u16;
+                sink.bank_service(mc, bank, token, now, now, now + service, true, 0);
+            }
             // The ideal controller abstracts banks away entirely, so bank
             // faults don't apply to it (MC outages are handled above it, in
             // the simulator's re-homing).
@@ -421,6 +456,7 @@ impl MemoryController {
             arrival: now,
             seq: self.seq,
             attempt: 0,
+            prefetch,
         });
         self.seq += 1;
         let depth = self.banks[bank].queue.len();
@@ -524,7 +560,7 @@ impl MemoryController {
                 // Fault windows active at the attempt's start stretch the
                 // access and may fail it transiently.
                 let (stall, fail) = self.fault_at(b, start, p.token, p.attempt);
-                if stall > 0 {
+                if stall > 0 && !p.prefetch {
                     self.stats.fault_stall_cycles += stall;
                     sink.bank_stall(mc, b as u16, p.token, start, stall);
                 }
@@ -539,6 +575,19 @@ impl MemoryController {
                         RowPolicy::Open => Some(p.row),
                         RowPolicy::Closed => None,
                     };
+                    if p.prefetch {
+                        // Speculative: drop on first failure, no retry, no
+                        // demand-side error accounting or sink mirror.
+                        self.stats.pf_dropped += 1;
+                        done.push(Completion {
+                            token: p.token,
+                            finish: bank_done,
+                            queue_cycles: start - p.arrival,
+                            service_cycles: bank_done - start,
+                            dropped: true,
+                        });
+                        continue;
+                    }
                     self.stats.transient_errors += 1;
                     let retry = self.faults.as_ref().map(|f| f.retry).unwrap_or_default();
                     if p.attempt >= retry.max_retries {
@@ -564,6 +613,7 @@ impl MemoryController {
                             arrival: bank_done + backoff,
                             seq: self.seq,
                             attempt: p.attempt + 1,
+                            prefetch: false,
                         });
                         self.seq += 1;
                     }
@@ -580,22 +630,26 @@ impl MemoryController {
                 };
                 let queue_cycles = start - p.arrival;
                 let service_cycles = finish - start;
-                self.stats.served += 1;
-                if hit {
-                    self.stats.row_hits += 1;
+                if p.prefetch {
+                    self.stats.pf_served += 1;
+                } else {
+                    self.stats.served += 1;
+                    if hit {
+                        self.stats.row_hits += 1;
+                    }
+                    self.stats.total_queue_cycles += queue_cycles;
+                    self.stats.total_service_cycles += service_cycles;
+                    sink.bank_service(
+                        mc,
+                        b as u16,
+                        p.token,
+                        p.arrival,
+                        start,
+                        finish,
+                        hit,
+                        self.banks[b].queue.len(),
+                    );
                 }
-                self.stats.total_queue_cycles += queue_cycles;
-                self.stats.total_service_cycles += service_cycles;
-                sink.bank_service(
-                    mc,
-                    b as u16,
-                    p.token,
-                    p.arrival,
-                    start,
-                    finish,
-                    hit,
-                    self.banks[b].queue.len(),
-                );
                 done.push(Completion {
                     token: p.token,
                     finish,
@@ -1003,6 +1057,95 @@ mod tests {
             }],
             retry: RetryPolicy::default(),
         });
+    }
+
+    #[test]
+    fn prefetch_class_is_accounted_separately() {
+        let sink = Sink::disabled();
+        let mut m = mc();
+        let mut done = m.enqueue_class_obs(0, 1, 0, 0, true, &sink);
+        done.extend(m.enqueue_class_obs(4096, 2, 0, 0, false, &sink));
+        done.extend(m.flush());
+        assert_eq!(done.len(), 2);
+        let s = m.stats();
+        assert_eq!(s.pf_served, 1);
+        assert_eq!(s.served, 1, "demand totals must exclude prefetches");
+        // The prefetch's queue/service time never enters the demand
+        // latency averages.
+        let pf = done.iter().find(|c| c.token == 1).unwrap();
+        assert!(pf.service_cycles > 0);
+        assert_eq!(
+            s.total_service_cycles,
+            done.iter().find(|c| c.token == 2).unwrap().service_cycles
+        );
+    }
+
+    #[test]
+    fn prefetch_contends_with_demand_for_the_bank() {
+        let sink = Sink::disabled();
+        let mut clean = mc();
+        let mut clean_done = clean.enqueue(16 * 4096, 1, 5);
+        clean_done.extend(clean.flush());
+        let lone = clean_done[0].finish;
+        let mut m = mc();
+        // A prefetch arrives first and occupies bank 0; the demand behind
+        // it (same bank, different row) must wait — prefetches share the
+        // physical pipe.
+        m.enqueue_class_obs(0, 9, 0, 0, true, &sink);
+        let mut done = m.enqueue_class_obs(16 * 4096, 1, 5, 0, false, &sink);
+        done.extend(m.flush());
+        let demand = done.iter().find(|c| c.token == 1).unwrap();
+        assert!(
+            demand.finish > lone,
+            "demand behind a prefetch must be delayed ({} !> {lone})",
+            demand.finish
+        );
+        assert!(demand.queue_cycles > 0);
+    }
+
+    #[test]
+    fn prefetch_transient_error_drops_without_retry() {
+        let sink = Sink::disabled();
+        let mut m = mc();
+        m.set_faults(always_faulty(1, RetryPolicy::default()));
+        let mut done = m.enqueue_class_obs(0, 3, 0, 0, true, &sink);
+        done.extend(m.flush());
+        assert_eq!(done.len(), 1);
+        assert!(done[0].dropped, "first failure must drop the prefetch");
+        let s = m.stats();
+        assert_eq!(s.pf_dropped, 1);
+        assert_eq!(s.retries, 0, "prefetches are never retried");
+        assert_eq!(s.dropped, 0, "demand drop counter must stay clean");
+        assert_eq!(s.transient_errors, 0);
+    }
+
+    #[test]
+    fn ideal_mode_keeps_prefetch_out_of_demand_stats() {
+        let sink = Sink::disabled();
+        let mut m = MemoryController::new(McConfig {
+            ideal: true,
+            ..McConfig::default()
+        });
+        let done = m.enqueue_class_obs(0, 1, 10, 0, true, &sink);
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].dropped);
+        assert_eq!(m.stats().pf_served, 1);
+        assert_eq!(m.stats().served, 0);
+        assert_eq!(m.stats().total_service_cycles, 0);
+    }
+
+    #[test]
+    fn demand_only_streams_ignore_the_class_flag() {
+        // enqueue() delegates through the class path with prefetch=false:
+        // the pf counters stay zero and everything else is unchanged.
+        let mut m = mc();
+        for k in 0..20 {
+            m.enqueue((k % 4) * 4096, k, k * 3);
+        }
+        m.flush();
+        assert_eq!(m.stats().pf_served, 0);
+        assert_eq!(m.stats().pf_dropped, 0);
+        assert_eq!(m.stats().served, 20);
     }
 
     #[test]

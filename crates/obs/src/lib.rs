@@ -38,4 +38,4 @@ pub use hist::Histogram;
 pub use json::{parse as parse_json, validate_chrome_trace, ChromeSummary, Value as JsonValue};
 pub use registry::{Registry, WindowMode};
 pub use report::ObsReport;
-pub use sink::{ObsConfig, Sink, Topology, HOP_HIST_LEN};
+pub use sink::{ObsConfig, PfEvent, Sink, Topology, HOP_HIST_LEN};

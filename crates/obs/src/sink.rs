@@ -52,6 +52,12 @@ pub struct ObsConfig {
     /// Requests beyond the cap are still fully counted — only their spans
     /// are dropped, and the drop count is reported in the snapshot.
     pub span_capacity: u64,
+    /// Register the prefetch metric families (`pf.*`). Unlike the fault
+    /// families — which exist unconditionally — these are opt-in: a run
+    /// with prefetching off must serialize a metrics snapshot
+    /// byte-identical to a build that predates the prefetch subsystem,
+    /// so the families only exist when the prefetcher does.
+    pub prefetch: bool,
 }
 
 impl Default for ObsConfig {
@@ -60,8 +66,34 @@ impl Default for ObsConfig {
             record_spans: true,
             epoch_cycles: 8192,
             span_capacity: 0,
+            prefetch: false,
         }
     }
+}
+
+/// One prefetch-pipeline counter event, mirrored from the simulator's
+/// `PrefetchSummary` accounting so the obs families match it by
+/// construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PfEvent {
+    /// Candidate lines the engines produced.
+    Candidates,
+    /// Candidates the off-chip predictor filtered out.
+    Gated,
+    /// Prefetch requests sent toward a memory controller.
+    Issued,
+    /// Prefetched lines later hit by a demand access.
+    Useful,
+    /// Demand misses that joined an in-flight prefetch.
+    Late,
+    /// Prefetched lines evicted untouched.
+    Harmful,
+    /// Prefetches dropped (queue full, dark MC, transient error).
+    Dropped,
+    /// Off-chip predictions that matched the demand outcome.
+    PredCorrect,
+    /// Demand accesses the predictor scored.
+    PredTotal,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -137,6 +169,24 @@ struct Ids {
     backstop_pending: CounterId,
     h_dropped: HistId,
     win_faults: SeriesId,
+    // Prefetch families. Unlike the fault families these register only
+    // when [`ObsConfig::prefetch`] is set, so prefetch-off snapshots stay
+    // byte-identical to builds that predate the subsystem.
+    pf: Option<PfIds>,
+}
+
+/// Per-node prefetch-pipeline counters, mirroring `PrefetchSummary`.
+#[derive(Clone, Copy, Debug)]
+struct PfIds {
+    candidates: CounterId,
+    gated: CounterId,
+    issued: CounterId,
+    useful: CounterId,
+    late: CounterId,
+    harmful: CounterId,
+    dropped: CounterId,
+    pred_correct: CounterId,
+    pred_total: CounterId,
 }
 
 /// Mutable recording state for one simulation run.
@@ -238,6 +288,17 @@ impl Recorder {
             backstop_pending: reg.counter("sim.backstop_pending", 1),
             h_dropped: reg.hist("req.dropped_cycles"),
             win_faults: reg.series("win.fault_events", e, WindowMode::Add),
+            pf: config.prefetch.then(|| PfIds {
+                candidates: reg.counter("pf.candidates", nodes),
+                gated: reg.counter("pf.gated", nodes),
+                issued: reg.counter("pf.issued", nodes),
+                useful: reg.counter("pf.useful", nodes),
+                late: reg.counter("pf.late", nodes),
+                harmful: reg.counter("pf.harmful", nodes),
+                dropped: reg.counter("pf.dropped", nodes),
+                pred_correct: reg.counter("pf.pred.correct", nodes),
+                pred_total: reg.counter("pf.pred.total", nodes),
+            }),
         };
         Recorder {
             topo,
@@ -735,6 +796,30 @@ impl Sink {
         });
     }
 
+    /// `n` prefetch-pipeline events of kind `ev` at `node`. A no-op unless
+    /// the recorder was built with [`ObsConfig::prefetch`], keeping
+    /// prefetch-off snapshots byte-identical to pre-prefetch builds.
+    pub fn prefetch(&self, ev: PfEvent, node: u16, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.with(|r| {
+            let Some(pf) = r.ids.pf else { return };
+            let id = match ev {
+                PfEvent::Candidates => pf.candidates,
+                PfEvent::Gated => pf.gated,
+                PfEvent::Issued => pf.issued,
+                PfEvent::Useful => pf.useful,
+                PfEvent::Late => pf.late,
+                PfEvent::Harmful => pf.harmful,
+                PfEvent::Dropped => pf.dropped,
+                PfEvent::PredCorrect => pf.pred_correct,
+                PfEvent::PredTotal => pf.pred_total,
+            };
+            r.reg.inc(id, node as usize, n);
+        });
+    }
+
     /// One directory lookup; `forward` when a sharer could supply the line.
     pub fn dir_lookup(&self, ts: u64, node: u16, forward: bool) {
         let _ = (ts, node);
@@ -918,6 +1003,50 @@ mod tests {
         assert_eq!(rep.counter("fault.rehomed"), 0);
         assert_eq!(rep.counter("sim.backstop_flushes"), 0);
         assert!(rep.metrics_json().contains("fault.mc.retries"));
+    }
+
+    #[test]
+    fn prefetch_families_are_absent_by_default() {
+        // Unlike the fault families, pf.* only registers when opted in, so
+        // prefetch-off snapshots are byte-identical to pre-prefetch builds.
+        let s = Sink::recording(topo(), ObsConfig::default());
+        s.access(0, 0);
+        s.prefetch(PfEvent::Issued, 0, 3); // must be a silent no-op
+        let rep = s.into_report(10).unwrap();
+        assert!(!rep.metrics_json().contains("pf."));
+    }
+
+    #[test]
+    fn prefetch_families_register_and_count_when_enabled() {
+        let cfg = ObsConfig {
+            prefetch: true,
+            ..ObsConfig::default()
+        };
+        let s = Sink::recording(topo(), cfg);
+        s.prefetch(PfEvent::Candidates, 1, 5);
+        s.prefetch(PfEvent::Gated, 1, 2);
+        s.prefetch(PfEvent::Issued, 1, 3);
+        s.prefetch(PfEvent::Useful, 1, 1);
+        s.prefetch(PfEvent::Late, 2, 1);
+        s.prefetch(PfEvent::Harmful, 2, 1);
+        s.prefetch(PfEvent::Dropped, 2, 1);
+        s.prefetch(PfEvent::PredCorrect, 3, 4);
+        s.prefetch(PfEvent::PredTotal, 3, 6);
+        s.prefetch(PfEvent::PredTotal, 3, 0); // zero increments are free
+        let rep = s.into_report(10).unwrap();
+        let total = |name: &str| rep.counter_family(name).iter().sum::<u64>();
+        assert_eq!(total("pf.candidates"), 5);
+        assert_eq!(total("pf.gated"), 2);
+        assert_eq!(total("pf.issued"), 3);
+        assert_eq!(total("pf.useful"), 1);
+        assert_eq!(total("pf.late"), 1);
+        assert_eq!(total("pf.harmful"), 1);
+        assert_eq!(total("pf.dropped"), 1);
+        assert_eq!(total("pf.pred.correct"), 4);
+        assert_eq!(total("pf.pred.total"), 6);
+        // The counts land on the node that reported them.
+        assert_eq!(rep.counter_family("pf.candidates")[1], 5);
+        assert_eq!(rep.counter_family("pf.late")[2], 1);
     }
 
     #[test]

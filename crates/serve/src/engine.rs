@@ -18,7 +18,7 @@ use hoploc_fault::{FaultPlan, FaultRates};
 use hoploc_harness::{fault_topo, record_json, RunRecord, RunSpec, Suite};
 use hoploc_noc::{L2ToMcMapping, McPlacement};
 use hoploc_search::{search_app, Objective, SearchConfig};
-use hoploc_sim::SimConfig;
+use hoploc_sim::{PrefetchConfig, PrefetchMode, SimConfig};
 use hoploc_workloads::{all_apps, RunKind};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -96,6 +96,7 @@ impl SuiteEngine {
         SimConfig {
             granularity: spec.granularity,
             l2_mode: spec.l2_mode,
+            prefetch: PrefetchConfig::with_mode(spec.prefetch),
             ..SimConfig::scaled()
         }
     }
@@ -203,6 +204,9 @@ impl Engine for SuiteEngine {
         }
         if spec.fidelity == Fidelity::Est && spec.faults != FaultSpec::None {
             return Err("fault injection needs cycle fidelity (the estimator is static)".into());
+        }
+        if spec.fidelity == Fidelity::Est && spec.prefetch != PrefetchMode::Off {
+            return Err("prefetching needs cycle fidelity (the estimator is static)".into());
         }
         if let FaultSpec::Plan(plan) = &spec.faults {
             let sim = Self::sim_for(spec);
@@ -362,6 +366,35 @@ mod tests {
         s.faults = FaultSpec::Seed(3);
         let err = eng.validate(&s).unwrap_err();
         assert!(err.contains("cycle fidelity"), "{err}");
+    }
+
+    #[test]
+    fn est_fidelity_rejects_prefetch() {
+        let eng = SuiteEngine::new(EngineCaps::default());
+        let mut s = spec("swim");
+        s.fidelity = Fidelity::Est;
+        s.prefetch = PrefetchMode::Stride;
+        let err = eng.validate(&s).unwrap_err();
+        assert!(err.contains("cycle fidelity"), "{err}");
+    }
+
+    #[test]
+    fn prefetch_jobs_serve_the_prefetch_block_and_key_separately() {
+        let eng = SuiteEngine::new(EngineCaps::default());
+        let plain = spec("swim");
+        let mut pf = spec("swim");
+        pf.prefetch = PrefetchMode::Gated;
+        assert!(eng.validate(&pf).is_ok());
+        let off_bytes = eng.run(&plain).unwrap();
+        let pf_bytes = eng.run(&pf).unwrap();
+        assert!(
+            !off_bytes.contains("prefetch"),
+            "off-prefetch result must stay byte-identical to pre-prefetch \
+             builds: {off_bytes}"
+        );
+        assert!(pf_bytes.contains("\"prefetch\": {"), "{pf_bytes}");
+        assert_ne!(plain.key(), pf.key(), "modes must cache separately");
+        assert_eq!(pf_bytes, eng.run(&pf).unwrap(), "deterministic");
     }
 
     #[test]

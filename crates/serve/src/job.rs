@@ -10,6 +10,7 @@
 use hoploc_fault::FaultPlan;
 use hoploc_harness::kind_name;
 use hoploc_layout::{Granularity, L2Mode};
+use hoploc_sim::PrefetchMode;
 use hoploc_workloads::{RunKind, Scale};
 
 /// How a job asks for fault injection.
@@ -110,6 +111,9 @@ pub struct JobSpec {
     /// Present for the long-running `search` job kind: run the
     /// design-space optimizer for `app` instead of one simulation.
     pub search: Option<SearchSpec>,
+    /// L2 prefetch engine. [`PrefetchMode::Off`] (the default) is
+    /// canon-absent so every pre-prefetch key stays byte-stable.
+    pub prefetch: PrefetchMode,
 }
 
 impl Default for JobSpec {
@@ -125,6 +129,7 @@ impl Default for JobSpec {
             faults: FaultSpec::None,
             fidelity: Fidelity::Cycle,
             search: None,
+            prefetch: PrefetchMode::Off,
         }
     }
 }
@@ -179,6 +184,12 @@ impl JobSpec {
             s.push_str(";search=");
             s.push_str(&search.canon());
         }
+        // Default-absent for the same reason: an Off-prefetch job keys
+        // identically to every key minted before the knob existed.
+        if self.prefetch != PrefetchMode::Off {
+            s.push_str(";prefetch=");
+            s.push_str(self.prefetch.name());
+        }
         s
     }
 
@@ -194,14 +205,21 @@ impl JobSpec {
     /// set of layout/trace caches, across all apps/kinds/faults under the
     /// same configuration).
     pub fn config_canon(&self) -> String {
-        format!(
+        let mut s = format!(
             "scale={};gran={};l2={};map={};threads={}",
             scale_name(self.scale),
             granularity_name(self.granularity),
             l2_name(self.l2_mode),
             if self.m2 { "m2" } else { "m1" },
             self.threads,
-        )
+        );
+        // Prefetch selects a different SimConfig, hence a different suite;
+        // default-absent so pre-prefetch suites keep their keys.
+        if self.prefetch != PrefetchMode::Off {
+            s.push_str(";prefetch=");
+            s.push_str(self.prefetch.name());
+        }
+        s
     }
 }
 
@@ -361,6 +379,34 @@ mod tests {
         let mut c = b.clone();
         c.search.as_mut().unwrap().seed = 1;
         assert_ne!(b.key(), c.key(), "the seed is part of the job identity");
+    }
+
+    #[test]
+    fn off_prefetch_keeps_pre_prefetch_keys_byte_stable() {
+        let a = spec();
+        assert_eq!(
+            a.canon(),
+            "app=swim;kind=optimized;scale=test;gran=cacheline;l2=private;\
+             map=m1;threads=1;faults=none",
+            "off-prefetch canon must not mention prefetch at all"
+        );
+        assert!(
+            !a.config_canon().contains("prefetch"),
+            "off-prefetch config canon must not mention prefetch: {}",
+            a.config_canon()
+        );
+        let mut b = a.clone();
+        b.prefetch = PrefetchMode::Gated;
+        assert!(b.canon().ends_with(";prefetch=gated"), "{}", b.canon());
+        assert!(
+            b.config_canon().ends_with(";prefetch=gated"),
+            "{}",
+            b.config_canon()
+        );
+        assert_ne!(a.key(), b.key(), "prefetch jobs must cache separately");
+        let mut c = b.clone();
+        c.prefetch = PrefetchMode::Stride;
+        assert_ne!(b.key(), c.key(), "the mode is part of the job identity");
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod wire;
 pub use cache::LruCache;
 pub use client::Client;
 pub use engine::{Engine, EngineCaps, SuiteEngine};
+pub use hoploc_sim::PrefetchMode;
 pub use job::{FaultSpec, Fidelity, JobKey, JobSpec, SearchSpec};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use metrics::{Ctr, ServeMetrics};

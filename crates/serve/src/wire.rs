@@ -19,6 +19,7 @@ use crate::job::{
 use hoploc_fault::FaultPlan;
 use hoploc_harness::kind_name;
 use hoploc_obs::{parse_json, JsonValue};
+use hoploc_sim::PrefetchMode;
 use std::fmt::Write as _;
 
 /// A parsed client request.
@@ -207,6 +208,10 @@ pub fn encode_job(spec: &JobSpec) -> String {
             json_string(&search.objective),
         );
     }
+    // Off-prefetch requests stay byte-identical to pre-prefetch clients'.
+    if spec.prefetch != PrefetchMode::Off {
+        let _ = write!(s, ",\"prefetch\":\"{}\"", spec.prefetch.name());
+    }
     s.push('}');
     s
 }
@@ -272,6 +277,10 @@ pub fn parse_job(v: &JsonValue) -> Result<JobSpec, String> {
             }
             "fidelity" => {
                 spec.fidelity = parse_fidelity(val.as_str().ok_or("fidelity must be a string")?)?;
+            }
+            "prefetch" => {
+                spec.prefetch =
+                    PrefetchMode::parse(val.as_str().ok_or("prefetch must be a string")?)?;
             }
             "search_seed" => {
                 search_seed = Some(
@@ -602,6 +611,23 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("fidelity"), "{err}");
+    }
+
+    #[test]
+    fn prefetch_round_trips_and_default_is_absent_from_the_wire() {
+        let mut s = spec();
+        s.prefetch = PrefetchMode::Gated;
+        let line = encode_request(&Request::Submit(s.clone()));
+        assert!(line.contains("\"prefetch\":\"gated\""), "{line}");
+        assert_eq!(parse_request(&line).unwrap(), Request::Submit(s));
+        // Off-prefetch jobs never mention prefetch on the wire.
+        let line = encode_request(&Request::Submit(spec()));
+        assert!(!line.contains("prefetch"), "{line}");
+        let err = parse_request(
+            r#"{"op":"submit","job":{"app":"a","kind":"baseline","prefetch":"psychic"}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("prefetch"), "{err}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use hoploc_serve::wire::{
     encode_job, encode_request, encode_response, parse_request, parse_response, Request, Response,
     SubmitStatus,
 };
-use hoploc_serve::{FaultSpec, Fidelity, JobSpec, SearchSpec};
+use hoploc_serve::{FaultSpec, Fidelity, JobSpec, PrefetchMode, SearchSpec};
 use hoploc_workloads::{RunKind, Scale};
 
 const APPS: [&str; 6] = ["swim", "mgrid", "apsi", "cg", "mg", "equake"];
@@ -77,6 +77,7 @@ fn random_spec(rng: &mut SmallRng) -> JobSpec {
         } else {
             None
         },
+        prefetch: PrefetchMode::all()[rng.usize_in(0..4)],
     }
 }
 
@@ -109,6 +110,10 @@ fn shuffled_job_json(spec: &JobSpec, rng: &mut SmallRng) -> String {
         fields.push(format!("\"search_seed\":{}", search.seed));
         fields.push(format!("\"search_budget\":{}", search.budget));
         fields.push(format!("\"search_objective\":\"{}\"", search.objective));
+    }
+    // Mirror the encoder: the Off prefetch default is never written.
+    if spec.prefetch != PrefetchMode::Off {
+        fields.push(format!("\"prefetch\":\"{}\"", spec.prefetch.name()));
     }
     // Fisher-Yates with the property rng.
     for i in (1..fields.len()).rev() {
@@ -161,6 +166,38 @@ fn pre_fidelity_requests_parse_and_key_identically() {
             !parsed.canon().contains("fidelity"),
             "default-tier canon must be byte-stable: {}",
             parsed.canon()
+        );
+    });
+}
+
+#[test]
+fn pre_prefetch_requests_parse_and_key_identically() {
+    // A request written by a client that predates the `prefetch` field
+    // must parse to the Off default and produce the exact key (and suite
+    // config key) it always did — cached results, coalescing entries, and
+    // warm suites minted before the knob existed stay hits.
+    run_cases("serve.key.preprefetch", 200, |rng| {
+        let mut spec = random_spec(rng);
+        spec.prefetch = PrefetchMode::Off;
+        let old_line = shuffled_job_json(&spec, rng);
+        assert!(
+            !old_line.contains("prefetch"),
+            "old-format request must not mention prefetch: {old_line}"
+        );
+        let Request::Submit(parsed) = parse_request(&old_line).expect("old format parses") else {
+            panic!("must parse as a submission");
+        };
+        assert_eq!(parsed, spec, "old format must land on the Off default");
+        assert_eq!(parsed.key(), spec.key());
+        assert!(
+            !parsed.canon().contains("prefetch"),
+            "off-prefetch canon must be byte-stable: {}",
+            parsed.canon()
+        );
+        assert!(
+            !parsed.config_canon().contains("prefetch"),
+            "off-prefetch config canon must be byte-stable: {}",
+            parsed.config_canon()
         );
     });
 }

@@ -5,6 +5,7 @@ use hoploc_fault::FaultPlan;
 use hoploc_layout::{Granularity, L2Mode};
 use hoploc_mem::McConfig;
 use hoploc_noc::{McPlacement, Mesh, NocConfig};
+use hoploc_prefetch::PrefetchConfig;
 
 /// Full-system configuration. `Default` reproduces Table 1: an 8×8 mesh of
 /// two-issue in-order cores, 16 KB L1s (64 B lines), 256 KB L2s (256 B
@@ -58,6 +59,11 @@ pub struct SimConfig {
     /// re-homing). `None` — and equally `Some(FaultPlan::none())` — leaves
     /// every timing path bit-identical to a fault-free build.
     pub faults: Option<FaultPlan>,
+    /// Per-L2-slice hardware prefetching. The default
+    /// (`PrefetchMode::Off`) leaves every timing path — and every stats
+    /// and trace artifact — bit-identical to a build without the
+    /// subsystem.
+    pub prefetch: PrefetchConfig,
 }
 
 impl Default for SimConfig {
@@ -80,6 +86,7 @@ impl Default for SimConfig {
             writebacks: false,
             memory_bytes: 4 << 30,
             faults: None,
+            prefetch: PrefetchConfig::default(),
         }
     }
 }

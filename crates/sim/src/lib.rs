@@ -25,6 +25,7 @@ mod trace;
 
 pub use address::AddressSpace;
 pub use config::SimConfig;
+pub use hoploc_prefetch::{PrefetchConfig, PrefetchMode, PrefetchSummary};
 pub use machine::Simulator;
 pub use os::{Os, PagePolicy};
 pub use stats::{Improvement, RunStats};

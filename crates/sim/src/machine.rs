@@ -23,7 +23,8 @@ use hoploc_fault::{FaultTopo, McOutage};
 use hoploc_layout::L2Mode;
 use hoploc_mem::{Completion, MemoryController};
 use hoploc_noc::{L2ToMcMapping, McId, Network, NodeId, TrafficClass};
-use hoploc_obs::{CacheTag, ObsConfig, ObsReport, Phase, ReqTag, Sink, Topology};
+use hoploc_obs::{CacheTag, ObsConfig, ObsReport, PfEvent, Phase, ReqTag, Sink, Topology};
+use hoploc_prefetch::{DemandOutcome, PrefetchSummary, SlicePrefetcher};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -73,9 +74,40 @@ struct PendingMem {
     /// A dirty-eviction writeback: fire-and-forget, no response, no
     /// thread to resume.
     writeback: bool,
+    /// A speculative prefetch: installs into the responder slice on
+    /// completion, resumes any late-joined demands, and is dropped (never
+    /// retried) on a transient error.
+    prefetch: bool,
     /// Observability tag of the request this memory access serves
     /// ([`ReqTag::NONE`] for writebacks and untraced runs).
     req: ReqTag,
+}
+
+/// A demand miss that found its line already in flight as a prefetch: the
+/// thread resumes (and its request span closes) when that prefetch lands.
+#[derive(Clone, Copy, Debug)]
+struct PfWaiter {
+    thread: usize,
+    /// Shared-L2 only: the requester the home bank forwards the line to.
+    final_dst: Option<NodeId>,
+    req: ReqTag,
+}
+
+/// Prefetch machinery: one engine per L2 slice plus the in-flight book.
+/// Exists only when a prefetch mode is configured, so an Off run carries
+/// no state and touches no prefetch code on its hot paths.
+struct PfState {
+    slices: Vec<SlicePrefetcher>,
+    /// `(slice node, l2 line)` → token of the in-flight prefetch, the
+    /// late-join rendezvous and the duplicate-issue filter.
+    inflight: HashMap<(u16, u64), u64>,
+    /// In-flight prefetches per slice (bounds issue at `queue_cap`).
+    inflight_count: Vec<u32>,
+    /// Demands blocked on an in-flight prefetch, by token.
+    waiters: HashMap<u64, Vec<PfWaiter>>,
+    summary: PrefetchSummary,
+    /// Reusable candidate buffer for [`SlicePrefetcher::on_demand`].
+    scratch: Vec<u64>,
 }
 
 struct ThreadState {
@@ -109,6 +141,8 @@ pub struct Simulator {
     /// Whole-controller outage windows from the installed fault plan
     /// (empty when no plan: the re-home check short-circuits).
     outages: Vec<McOutage>,
+    /// Prefetch state, present only when `config.prefetch` enables a mode.
+    pf: Option<PfState>,
     // Stats.
     total_accesses: u64,
     l1_hits: u64,
@@ -181,6 +215,16 @@ impl Simulator {
             next_token: 0,
             mc_next_poll: vec![None; n_mcs],
             outages,
+            pf: config.prefetch.enabled().then(|| PfState {
+                slices: (0..n)
+                    .map(|_| SlicePrefetcher::new(config.prefetch))
+                    .collect(),
+                inflight: HashMap::new(),
+                inflight_count: vec![0; n],
+                waiters: HashMap::new(),
+                summary: PrefetchSummary::default(),
+                scratch: Vec::new(),
+            }),
             total_accesses: 0,
             l1_hits: 0,
             l2_hits: 0,
@@ -323,6 +367,7 @@ impl Simulator {
             rehomed_requests: self.rehomed,
             dropped_requests: self.dropped,
             backstop_flushes: self.backstop_flushes,
+            prefetch: self.pf.as_ref().map(|p| p.summary).unwrap_or_default(),
         }
     }
 
@@ -416,6 +461,7 @@ impl Simulator {
                 l2_line,
                 t1,
                 access.write,
+                access.ref_id,
                 req,
             ),
             L2Mode::Shared => self.shared_l2_access(
@@ -426,6 +472,7 @@ impl Simulator {
                 l2_line,
                 t1,
                 access.write,
+                access.ref_id,
                 req,
             ),
         }
@@ -441,6 +488,7 @@ impl Simulator {
         l2_line: u64,
         t1: u64,
         write: bool,
+        ref_id: u32,
         req: ReqTag,
     ) {
         let t2 = t1 + self.config.l2_latency;
@@ -451,9 +499,19 @@ impl Simulator {
             CacheTag::l2(node.0),
             &self.obs,
         );
+        self.pf_demand_result(node, res.prefetched_hit, res.evicted_prefetched);
         if res.hit {
             self.l2_hits += 1;
             self.obs.req_l2_hit(req, t2);
+            // A hit on a prefetched line trains as "would have been
+            // off-chip" so the predictor stays gated-open under the
+            // prefetcher's own success.
+            let outcome = if res.prefetched_hit {
+                DemandOutcome::PrefetchedHit
+            } else {
+                DemandOutcome::L2Hit
+            };
+            self.pf_on_demand(node, ref_id, l2_line, outcome, t2);
             self.after_access(workload, thread, t2, false);
             return;
         }
@@ -489,6 +547,7 @@ impl Simulator {
                         mc: ev_mc,
                         l2_line: evicted,
                         writeback: true,
+                        prefetch: false,
                         req: ReqTag::NONE,
                     },
                 );
@@ -504,6 +563,23 @@ impl Simulator {
                     &self.obs,
                 );
             }
+        }
+
+        // A prefetch for this very line is already in flight to this
+        // slice: join it instead of issuing a second memory request (the
+        // demand's `access_rw` just allocated the line, so the landing
+        // prefetch installs as a no-op). Counted as a *late* prefetch —
+        // the engine was right but not early enough.
+        if let Some(token) = self.pf_late_join(node, l2_line) {
+            let pf = self.pf.as_mut().expect("late join without prefetch state");
+            pf.waiters.entry(token).or_default().push(PfWaiter {
+                thread,
+                final_dst: None,
+                req,
+            });
+            self.pf_on_demand(node, ref_id, l2_line, DemandOutcome::PrefetchedHit, t2);
+            self.after_access(workload, thread, t2, true);
+            return;
         }
 
         let mc = if self.config.optimal {
@@ -553,6 +629,7 @@ impl Simulator {
             self.dir.add_sharer(l2_line, node.0 as usize);
             self.obs.retire(req, t6);
             self.schedule(t6, EventKind::MissReturn { thread });
+            self.pf_on_demand(node, ref_id, l2_line, DemandOutcome::OnChip, t2);
             self.after_access(workload, thread, t2, true);
         } else {
             // Off-chip: requester → MC (request), DRAM, MC → requester (data).
@@ -578,9 +655,11 @@ impl Simulator {
                     mc,
                     l2_line,
                     writeback: false,
+                    prefetch: false,
                     req,
                 },
             );
+            self.pf_on_demand(node, ref_id, l2_line, DemandOutcome::OffChip, t2);
             self.after_access(workload, thread, t2, true);
         }
     }
@@ -595,6 +674,7 @@ impl Simulator {
         l2_line: u64,
         t1: u64,
         write: bool,
+        ref_id: u32,
         req: ReqTag,
     ) {
         let home = NodeId((l2_line % self.config.num_nodes() as u64) as u16);
@@ -615,6 +695,7 @@ impl Simulator {
             CacheTag::l2(home.0),
             &self.obs,
         );
+        self.pf_demand_result(home, res.prefetched_hit, res.evicted_prefetched);
         if self.config.writebacks && res.evicted_dirty {
             if let Some(evicted) = res.evicted {
                 self.writebacks += 1;
@@ -641,6 +722,7 @@ impl Simulator {
                         mc: ev_mc,
                         l2_line: evicted,
                         writeback: true,
+                        prefetch: false,
                         req: ReqTag::NONE,
                     },
                 );
@@ -660,6 +742,26 @@ impl Simulator {
             );
             self.obs.retire(req, t4);
             self.schedule(t4, EventKind::MissReturn { thread });
+            let outcome = if res.prefetched_hit {
+                DemandOutcome::PrefetchedHit
+            } else {
+                DemandOutcome::L2Hit
+            };
+            self.pf_on_demand(home, ref_id, l2_line, outcome, t3);
+            self.after_access(workload, thread, t1, true);
+            return;
+        }
+        // Same late-join rendezvous as the private path, at the home bank;
+        // the landing prefetch additionally forwards the line to the
+        // requester.
+        if let Some(token) = self.pf_late_join(home, l2_line) {
+            let pf = self.pf.as_mut().expect("late join without prefetch state");
+            pf.waiters.entry(token).or_default().push(PfWaiter {
+                thread,
+                final_dst: Some(node),
+                req,
+            });
+            self.pf_on_demand(home, ref_id, l2_line, DemandOutcome::PrefetchedHit, t3);
             self.after_access(workload, thread, t1, true);
             return;
         }
@@ -692,10 +794,268 @@ impl Simulator {
                 mc,
                 l2_line,
                 writeback: false,
+                prefetch: false,
                 req,
             },
         );
+        self.pf_on_demand(home, ref_id, l2_line, DemandOutcome::OffChip, t3);
         self.after_access(workload, thread, t1, true);
+    }
+
+    /// A demand L2 access resolved against (possibly) prefetched state:
+    /// a hit on an untouched prefetched line is *useful*, the eviction of
+    /// one is *harmful* (pollution). Both feed the accuracy throttle.
+    fn pf_demand_result(&mut self, slice: NodeId, useful: bool, harmful: bool) {
+        if !(useful || harmful) {
+            return;
+        }
+        let Some(pf) = self.pf.as_mut() else { return };
+        let s = &mut pf.slices[slice.0 as usize];
+        if useful {
+            pf.summary.useful += 1;
+            s.resolve(true);
+        }
+        if harmful {
+            pf.summary.harmful += 1;
+            s.resolve(false);
+        }
+        if useful {
+            self.obs.prefetch(PfEvent::Useful, slice.0, 1);
+        }
+        if harmful {
+            self.obs.prefetch(PfEvent::Harmful, slice.0, 1);
+        }
+    }
+
+    /// If a prefetch for `l2_line` is in flight to `slice`, counts the
+    /// late join and returns its token for waiter registration.
+    fn pf_late_join(&mut self, slice: NodeId, l2_line: u64) -> Option<u64> {
+        let token = {
+            let pf = self.pf.as_mut()?;
+            let &token = pf.inflight.get(&(slice.0, l2_line))?;
+            pf.summary.late += 1;
+            pf.slices[slice.0 as usize].resolve(true);
+            token
+        };
+        self.obs.prefetch(PfEvent::Late, slice.0, 1);
+        Some(token)
+    }
+
+    /// Trains the slice prefetcher at `slice` on one demand access and
+    /// issues whatever candidates survive its gating. Called *after* the
+    /// demand's own messages are sent at `now`, so prefetch traffic queues
+    /// behind demand traffic on every shared link (demand priority).
+    fn pf_on_demand(
+        &mut self,
+        slice: NodeId,
+        ref_id: u32,
+        l2_line: u64,
+        outcome: DemandOutcome,
+        now: u64,
+    ) {
+        let Some(mut pf) = self.pf.take() else { return };
+        let before = pf.summary;
+        pf.scratch.clear();
+        pf.slices[slice.0 as usize].on_demand(
+            ref_id,
+            l2_line,
+            outcome,
+            &mut pf.summary,
+            &mut pf.scratch,
+        );
+        for i in 0..pf.scratch.len() {
+            let line = pf.scratch[i];
+            self.pf_try_issue(&mut pf, slice, line, now);
+        }
+        let after = pf.summary;
+        self.pf = Some(pf);
+        self.pf_obs_diff(slice.0, before, after);
+    }
+
+    /// Issues one candidate line from `slice` unless the issue-side
+    /// filters reject it.
+    fn pf_try_issue(&mut self, pf: &mut PfState, slice: NodeId, line: u64, now: u64) {
+        let node = slice.0 as usize;
+        // Already resident or already being fetched: the engine's work is
+        // simply done (not a drop — nothing was lost).
+        if self.l2[node].contains(line) || pf.inflight.contains_key(&(slice.0, line)) {
+            return;
+        }
+        if pf.inflight_count[node] as usize >= self.config.prefetch.queue_cap {
+            pf.summary.dropped += 1;
+            return;
+        }
+        let paddr = line * self.config.l2.line_bytes;
+        let mc = self.mc_of_paddr(paddr);
+        // Prefetches never re-home: a speculative fetch is not worth a
+        // detour, so a dark controller just swallows it.
+        if self.mc_dark(mc, now) {
+            pf.summary.dropped += 1;
+            return;
+        }
+        pf.summary.issued += 1;
+        let mc_node = self.mc_node(mc);
+        let at = self.net.send_obs(
+            slice,
+            mc_node,
+            self.config.control_bytes,
+            TrafficClass::OffChip,
+            now,
+            ReqTag::NONE,
+            &self.obs,
+        );
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(
+            token,
+            PendingMem {
+                thread: usize::MAX,
+                responder: slice,
+                final_dst: None,
+                mc,
+                l2_line: line,
+                writeback: false,
+                prefetch: true,
+                req: ReqTag::NONE,
+            },
+        );
+        pf.inflight.insert((slice.0, line), token);
+        pf.inflight_count[node] += 1;
+        let local = self.mc_local_addr(paddr);
+        let done = self.mcs[mc].enqueue_class_obs(local, token, at, mc as u16, true, &self.obs);
+        self.schedule_completions(&done);
+        self.update_poll(mc);
+    }
+
+    /// Mirrors summary deltas from one trigger into the obs families, so
+    /// the `pf.*` counters match `RunStats::prefetch` by construction.
+    fn pf_obs_diff(&mut self, node: u16, before: PrefetchSummary, after: PrefetchSummary) {
+        let o = &self.obs;
+        o.prefetch(
+            PfEvent::Candidates,
+            node,
+            after.candidates - before.candidates,
+        );
+        o.prefetch(PfEvent::Gated, node, after.gated - before.gated);
+        o.prefetch(PfEvent::Issued, node, after.issued - before.issued);
+        o.prefetch(PfEvent::Dropped, node, after.dropped - before.dropped);
+        o.prefetch(
+            PfEvent::PredCorrect,
+            node,
+            after.pred_correct - before.pred_correct,
+        );
+        o.prefetch(
+            PfEvent::PredTotal,
+            node,
+            after.pred_total - before.pred_total,
+        );
+    }
+
+    /// A prefetch's memory round trip finished: install the line (a no-op
+    /// if a racing demand already owns it), resume late-joined demands,
+    /// and on a transient-error drop let those demands fail exactly like
+    /// a dropped demand request.
+    fn finish_prefetch(
+        &mut self,
+        workload: &TraceWorkload,
+        ctx: PendingMem,
+        token: u64,
+        now: u64,
+        dropped: bool,
+    ) {
+        let mut pf = self
+            .pf
+            .take()
+            .expect("prefetch completion without prefetch state");
+        let slice = ctx.responder;
+        let node = slice.0 as usize;
+        pf.inflight.remove(&(slice.0, ctx.l2_line));
+        pf.inflight_count[node] -= 1;
+        let waiters = pf.waiters.remove(&token).unwrap_or_default();
+        let mc_node = self.mc_node(ctx.mc);
+        if dropped {
+            pf.summary.dropped += 1;
+            self.pf = Some(pf);
+            self.obs.prefetch(PfEvent::Dropped, slice.0, 1);
+            // Waiting demands resume on a control-sized error reply along
+            // the normal response path; the line is not installed.
+            for w in waiters {
+                let t1 = self.net.send_obs(
+                    mc_node,
+                    slice,
+                    self.config.control_bytes,
+                    TrafficClass::OffChip,
+                    now,
+                    w.req.phase(Phase::Reply),
+                    &self.obs,
+                );
+                let t_end = match w.final_dst {
+                    Some(dst) => self.net.send_obs(
+                        slice,
+                        dst,
+                        self.config.control_bytes,
+                        TrafficClass::OnChip,
+                        t1,
+                        w.req.phase(Phase::Reply),
+                        &self.obs,
+                    ),
+                    None => t1,
+                };
+                self.obs.drop_req(w.req, t_end);
+                self.miss_return(workload, w.thread, t_end);
+            }
+            return;
+        }
+        // Data travels MC → slice; the install marks the line prefetched
+        // so a later demand hit counts as useful.
+        let t1 = self.net.send_obs(
+            mc_node,
+            slice,
+            self.config.l2.line_bytes as u32,
+            TrafficClass::OffChip,
+            now,
+            ReqTag::NONE,
+            &self.obs,
+        );
+        let res = self.l2[node].install_prefetch(ctx.l2_line);
+        if res.evicted_prefetched {
+            pf.summary.harmful += 1;
+            pf.slices[node].resolve(false);
+        }
+        let evicted_prefetched = res.evicted_prefetched;
+        self.pf = Some(pf);
+        if evicted_prefetched {
+            self.obs.prefetch(PfEvent::Harmful, slice.0, 1);
+        }
+        if let Some(evicted) = res.evicted {
+            // The victim leaves the slice's directory view, but its
+            // writeback is not modelled: speculation must never add
+            // demand memory traffic.
+            if self.config.l2_mode == L2Mode::Private {
+                self.dir.remove_sharer(evicted, node);
+            }
+        }
+        if self.config.l2_mode == L2Mode::Private {
+            // The slice now holds the line: make it discoverable for
+            // cache-to-cache forwarding, like any demand fill.
+            self.dir.add_sharer(ctx.l2_line, node);
+        }
+        for w in waiters {
+            let t_end = match w.final_dst {
+                Some(dst) => self.net.send_obs(
+                    slice,
+                    dst,
+                    self.config.l2.line_bytes as u32,
+                    TrafficClass::OnChip,
+                    t1,
+                    w.req.phase(Phase::Reply),
+                    &self.obs,
+                ),
+                None => t1,
+            };
+            self.obs.retire(w.req, t_end);
+            self.miss_return(workload, w.thread, t_end);
+        }
     }
 
     fn enqueue_mem(&mut self, paddr: u64, arrival: u64, ctx: PendingMem) {
@@ -748,6 +1108,10 @@ impl Simulator {
             .pending
             .remove(&token)
             .expect("completion for unknown token");
+        if ctx.prefetch {
+            self.finish_prefetch(workload, ctx, token, now, dropped);
+            return;
+        }
         if ctx.writeback {
             // The line is in DRAM; nothing waits on it. A dropped
             // writeback simply never lands.
@@ -895,6 +1259,7 @@ mod tests {
                     vaddr: k * stride,
                     write: false,
                     gap: 2,
+                    ref_id: 0,
                 })
                 .collect(),
         )
@@ -925,6 +1290,7 @@ mod tests {
                     vaddr: 128,
                     write: false,
                     gap: 1,
+                    ref_id: 0,
                 })
                 .collect(),
         );
@@ -964,6 +1330,7 @@ mod tests {
                     vaddr: k * 256,
                     write: false,
                     gap: 400,
+                    ref_id: 0,
                 })
                 .collect(),
         );
@@ -1157,6 +1524,173 @@ mod tests {
                 lean.counter_family(name),
                 "{name}"
             );
+        }
+    }
+
+    mod prefetch {
+        use super::*;
+        use hoploc_fault::{FaultPlan, McOutage};
+        use hoploc_prefetch::{PrefetchConfig, PrefetchMode};
+
+        fn with_mode(mode: PrefetchMode) -> SimConfig {
+            SimConfig {
+                prefetch: PrefetchConfig::with_mode(mode),
+                ..small_config()
+            }
+        }
+
+        /// A streaming trace with per-access `ref_id`s, as the workload
+        /// generator would emit.
+        fn stream_trace(node: u16, lines: u64, stride: u64) -> ThreadTrace {
+            ThreadTrace::new(
+                NodeId(node),
+                (0..lines)
+                    .map(|k| Access {
+                        vaddr: k * stride,
+                        write: false,
+                        gap: 2,
+                        ref_id: 7,
+                    })
+                    .collect(),
+            )
+        }
+
+        #[test]
+        fn off_mode_is_bit_identical_regardless_of_geometry() {
+            // With the mode Off, every other prefetch knob must be inert:
+            // the runs compare equal field-for-field (incl. f64s).
+            let w = TraceWorkload::single("t", vec![seq_trace(0, 1024, 256)]);
+            let cfg = small_config();
+            let m = mapping(&cfg);
+            let base = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved).run(&w);
+            let mut off = cfg;
+            off.prefetch.degree = 16;
+            off.prefetch.queue_cap = 1;
+            let again = Simulator::new(off, m, PagePolicy::Interleaved).run(&w);
+            assert_eq!(base, again);
+            assert!(again.prefetch.is_empty());
+        }
+
+        #[test]
+        fn stride_prefetch_covers_a_streaming_run() {
+            let w = TraceWorkload::single("t", vec![stream_trace(0, 2048, 256)]);
+            let cfg = small_config();
+            let m = mapping(&cfg);
+            let base = Simulator::new(cfg, m.clone(), PagePolicy::Interleaved).run(&w);
+            let pcfg = with_mode(PrefetchMode::Stride);
+            let opt = Simulator::new(pcfg, m, PagePolicy::Interleaved).run(&w);
+            assert!(opt.prefetch.issued > 0, "stream must trigger the engine");
+            assert!(
+                opt.prefetch.useful + opt.prefetch.late > 0,
+                "prefetches must cover some demand misses"
+            );
+            assert!(
+                opt.offchip_accesses < base.offchip_accesses,
+                "covered misses leave the demand off-chip path: {} !< {}",
+                opt.offchip_accesses,
+                base.offchip_accesses
+            );
+            assert_eq!(opt.total_accesses, base.total_accesses);
+            // Demand conservation is stated over *demand* requests only.
+            let served: u64 = opt.mc.iter().map(|m| m.served).sum();
+            assert_eq!(served, opt.offchip_accesses);
+        }
+
+        #[test]
+        fn gated_mode_scores_the_predictor() {
+            let w = TraceWorkload::single("t", vec![stream_trace(0, 2048, 256)]);
+            let cfg = with_mode(PrefetchMode::Gated);
+            let m = mapping(&cfg);
+            let stats = Simulator::new(cfg, m, PagePolicy::Interleaved).run(&w);
+            let pf = stats.prefetch;
+            assert!(pf.pred_total > 0, "every demand L2 access is scored");
+            assert!(pf.candidates >= pf.gated, "gated is a subset of candidates");
+            assert!(
+                pf.issued + pf.dropped <= pf.candidates - pf.gated,
+                "issue-side filtering only ever removes candidates"
+            );
+            // Measured accuracy is over demand outcomes, which the
+            // prefetcher itself flips on-chip as it starts covering the
+            // stream — so it need not stay high, only well-defined.
+            assert!(pf.pred_correct > 0, "some predictions must score");
+            let acc = pf.pred_accuracy();
+            assert!(acc > 0.0 && acc <= 1.0, "got {acc}");
+        }
+
+        #[test]
+        fn prefetch_runs_are_deterministic() {
+            let w = TraceWorkload::single(
+                "t",
+                vec![stream_trace(0, 1024, 256), stream_trace(7, 512, 256)],
+            );
+            let cfg = with_mode(PrefetchMode::Gated);
+            let m = mapping(&cfg);
+            let a = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved).run(&w);
+            let b = Simulator::new(cfg, m, PagePolicy::Interleaved).run(&w);
+            assert_eq!(a, b);
+        }
+
+        #[test]
+        fn shared_l2_prefetches_at_the_home_bank() {
+            let mut cfg = with_mode(PrefetchMode::Stream);
+            cfg.l2_mode = L2Mode::Shared;
+            let m = mapping(&cfg);
+            let w = TraceWorkload::single("t", vec![stream_trace(3, 2048, 256)]);
+            let stats = Simulator::new(cfg, m, PagePolicy::Interleaved).run(&w);
+            assert_eq!(stats.total_accesses, 2048, "all demands consumed");
+            assert!(stats.prefetch.issued > 0);
+        }
+
+        #[test]
+        fn traced_prefetch_run_mirrors_summary_and_timing() {
+            let w = TraceWorkload::single("t", vec![stream_trace(0, 1024, 256)]);
+            let cfg = with_mode(PrefetchMode::Gated);
+            let m = mapping(&cfg);
+            let base = Simulator::new(cfg.clone(), m.clone(), PagePolicy::Interleaved).run(&w);
+            let (stats, rep) = Simulator::new(cfg, m, PagePolicy::Interleaved)
+                .with_obs(hoploc_obs::ObsConfig {
+                    prefetch: true,
+                    ..hoploc_obs::ObsConfig::default()
+                })
+                .run_traced(&w);
+            assert_eq!(stats, base, "recording must not perturb timing");
+            let pf = stats.prefetch;
+            for (name, want) in [
+                ("pf.candidates", pf.candidates),
+                ("pf.gated", pf.gated),
+                ("pf.issued", pf.issued),
+                ("pf.useful", pf.useful),
+                ("pf.late", pf.late),
+                ("pf.harmful", pf.harmful),
+                ("pf.dropped", pf.dropped),
+                ("pf.pred.correct", pf.pred_correct),
+                ("pf.pred.total", pf.pred_total),
+            ] {
+                assert_eq!(rep.counter_family(name).iter().sum::<u64>(), want, "{name}");
+            }
+            assert_obs_parity(&stats, &rep);
+        }
+
+        #[test]
+        fn outage_drops_prefetches_without_rehoming() {
+            let mut cfg = with_mode(PrefetchMode::Stride);
+            cfg.faults = Some(FaultPlan {
+                outages: vec![McOutage {
+                    mc: 0,
+                    from: 0,
+                    until: u64::MAX / 2,
+                }],
+                ..FaultPlan::none()
+            });
+            let m = mapping(&cfg);
+            let w = TraceWorkload::single("t", vec![stream_trace(0, 2048, 256)]);
+            let stats = Simulator::new(cfg, m, PagePolicy::Interleaved).run(&w);
+            // Demands re-home; prefetches aimed at the dark MC are dropped.
+            assert_eq!(stats.mc[0].served + stats.mc[0].pf_served, 0);
+            assert!(stats.prefetch.dropped > 0, "dark-MC candidates drop");
+            assert!(stats.rehomed_requests > 0);
+            let served: u64 = stats.mc.iter().map(|m| m.served).sum();
+            assert_eq!(served, stats.offchip_accesses, "demands all serve");
         }
     }
 
@@ -1354,6 +1888,7 @@ mod tests {
                         mc: 0,
                         l2_line: 0,
                         writeback: true,
+                        prefetch: false,
                         req: ReqTag::NONE,
                     },
                 );

@@ -2,6 +2,7 @@
 
 use hoploc_mem::McStats;
 use hoploc_noc::NetStats;
+use hoploc_prefetch::PrefetchSummary;
 
 /// Statistics of one simulation run.
 ///
@@ -49,6 +50,9 @@ pub struct RunStats {
     /// Times the event loop's liveness backstop force-flushed the
     /// controllers (0 in a healthy run — see diagnostic HL0900).
     pub backstop_flushes: u64,
+    /// Prefetch-pipeline counters, summed over the L2 slices (all zero —
+    /// `PrefetchSummary::default()` — when prefetching is off).
+    pub prefetch: PrefetchSummary,
 }
 
 impl RunStats {
@@ -206,6 +210,7 @@ mod tests {
             rehomed_requests: 0,
             dropped_requests: 0,
             backstop_flushes: 0,
+            prefetch: PrefetchSummary::default(),
         }
     }
 

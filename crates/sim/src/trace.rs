@@ -12,6 +12,10 @@ pub struct Access {
     pub write: bool,
     /// Compute cycles the thread spends *before* issuing this access.
     pub gap: u32,
+    /// Stable identifier of the static reference (the "PC") that issued
+    /// this access — the stride-prefetcher training key. Ignored (and
+    /// conventionally 0) when prefetching is off.
+    pub ref_id: u32,
 }
 
 /// The access stream of one thread, bound to a node.
@@ -103,6 +107,7 @@ mod tests {
                     vaddr: k as u64 * 64,
                     write: false,
                     gap: 1,
+                    ref_id: 0,
                 })
                 .collect(),
         )

@@ -23,6 +23,7 @@ fn stream(node: u16, lines: u64, stride: u64, gap: u32) -> ThreadTrace {
                 vaddr: k * stride,
                 write: false,
                 gap,
+                ref_id: 0,
             })
             .collect(),
     )
@@ -84,6 +85,7 @@ fn shared_l2_hits_travel_on_chip() {
             vaddr: k * 256,
             write: false,
             gap: 2,
+            ref_id: 0,
         })
         .collect();
     let w = TraceWorkload::single("t", vec![ThreadTrace::new(NodeId(0), accesses)]);
@@ -120,6 +122,7 @@ fn writes_and_reads_share_the_same_path() {
                     vaddr: k * 256,
                     write: true,
                     gap: 2,
+                    ref_id: 0,
                 })
                 .collect(),
         )],
@@ -163,6 +166,7 @@ fn mc_local_addressing_spreads_banks_under_page_policy() {
                     vaddr: k * 4096,
                     write: false,
                     gap: 0,
+                    ref_id: 0,
                 })
                 .collect(),
         )],
@@ -193,6 +197,7 @@ fn writebacks_add_offchip_traffic_without_blocking() {
                     vaddr: k * 256,
                     write: true,
                     gap: 1,
+                    ref_id: 0,
                 })
                 .collect(),
         )],

@@ -72,6 +72,7 @@ fn simulation_conserves_accesses() {
                             vaddr: rng.u64_in(0..1 << 20),
                             write: false,
                             gap: rng.u32_in(0..10),
+                            ref_id: 0,
                         })
                         .collect(),
                 )
@@ -110,6 +111,7 @@ fn mlp_never_slows_execution() {
                         vaddr: v,
                         write: false,
                         gap: g,
+                        ref_id: 0,
                     })
                     .collect(),
             )]

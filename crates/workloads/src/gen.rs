@@ -120,7 +120,7 @@ pub fn generate_traces(
         .map(|n| n.weight())
         .max()
         .unwrap_or(1);
-    for nest in program.nests() {
+    for (nest_idx, nest) in program.nests().iter().enumerate() {
         let light = nest.weight().saturating_mul(8) < max_weight;
         let mut strides = vec![1i64; nest.depth()];
         if let Some(last) = strides.last_mut() {
@@ -161,7 +161,7 @@ pub fn generate_traces(
             let mut jit_state: u64 = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
             for _rep in 0..reps {
                 nest.walk_core_iterations(t, n_threads, &strides, |iter| {
-                    for stmt in nest.body() {
+                    for (stmt_idx, stmt) in nest.body().iter().enumerate() {
                         for (ri, r) in stmt.refs.iter().enumerate() {
                             let dvec: Vec<i64> = match &r.access {
                                 AccessFn::Affine(a) => a.eval_slice(iter).into_inner(),
@@ -199,10 +199,16 @@ pub fn generate_traces(
                                 } else {
                                     0
                                 };
+                            // A stable per-static-reference id: the
+                            // stride-prefetcher's training key (its "PC").
+                            let ref_id = ((nest_idx as u32) << 16)
+                                | ((stmt_idx as u32) << 8)
+                                | (ri as u32 & 0xff);
                             accesses.push(Access {
                                 vaddr,
                                 write: r.kind == RefKind::Write,
                                 gap,
+                                ref_id,
                             });
                         }
                     }

@@ -10,6 +10,7 @@
 use hoploc::harness::default_jobs;
 use hoploc::layout::{Granularity, L2Mode};
 use hoploc::obs::ObsConfig;
+use hoploc::prefetch::PrefetchMode;
 use hoploc::workloads::{RunKind, Scale};
 
 /// Parsed options, defaulted; each subcommand reads the fields it uses.
@@ -22,6 +23,7 @@ pub struct Options {
     pub optimal: bool,
     pub threads: usize,
     pub scale: Scale,
+    pub prefetch: PrefetchMode,
     pub jobs: usize,
     pub json: Option<String>,
     pub deny_warnings: bool,
@@ -58,6 +60,7 @@ impl Default for Options {
             optimal: false,
             threads: 1,
             scale: Scale::Bench,
+            prefetch: PrefetchMode::Off,
             jobs: default_jobs(),
             json: None,
             deny_warnings: false,
@@ -103,13 +106,14 @@ impl Options {
 }
 
 /// The simulator-shape flags shared by every simulation subcommand.
-const SIM: [&str; 6] = [
+const SIM: [&str; 7] = [
     "--page",
     "--cacheline",
     "--shared",
     "--m2",
     "--threads",
     "--scale",
+    "--prefetch",
 ];
 
 /// The flags `cmd` accepts, or `None` for an unknown subcommand.
@@ -126,9 +130,12 @@ pub fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
             v.extend(SIM);
             v.extend(["--jobs", "--json", "--deny"]);
         }
-        // `est` and `bench` sweep the full configuration matrix (or time
-        // every phase) themselves, so they take no per-config shape flags.
-        "est" | "bench" => v.extend(["--scale", "--jobs", "--json"]),
+        // `est` sweeps the full configuration matrix itself, so it takes
+        // no per-config shape flags.
+        "est" => v.extend(["--scale", "--jobs", "--json"]),
+        // `bench` times every phase over the cacheline machine; the one
+        // shape flag it takes turns the prefetch engines on for the sweep.
+        "bench" => v.extend(["--scale", "--jobs", "--json", "--prefetch"]),
         // `search` explores placements/granularities itself; the only
         // shape flags it takes set the baseline machine.
         "search" => v.extend([
@@ -224,6 +231,7 @@ fn apply(o: &mut Options, flag: &str, value: Option<&str>) -> Result<(), String>
             "bench" => o.scale = Scale::Bench,
             other => return Err(format!("--scale takes `test` or `bench`, got `{other}`")),
         },
+        "--prefetch" => o.prefetch = PrefetchMode::parse(val())?,
         "--addr" => o.addr = val().to_string(),
         "--workers" => {
             o.workers = parse_num(flag, val())?;
@@ -398,6 +406,20 @@ mod tests {
         assert!(err.contains("hoploc search"), "{err}");
         assert!(err.contains("--budget"), "{err}");
         assert!(parse("search", &args(&["--budget", "0"])).is_err());
+    }
+
+    #[test]
+    fn prefetch_flag_parses_modes() {
+        for cmd in ["run", "sweep", "faults", "check", "bench"] {
+            let o = parse(cmd, &args(&["--prefetch", "gated"])).unwrap();
+            assert_eq!(o.prefetch, PrefetchMode::Gated);
+        }
+        assert_eq!(
+            parse("run", &args(&[])).unwrap().prefetch,
+            PrefetchMode::Off
+        );
+        assert!(parse("run", &args(&["--prefetch", "bogus"])).is_err());
+        assert!(parse("serve", &args(&["--prefetch", "stride"])).is_err());
     }
 
     #[test]

@@ -56,6 +56,12 @@
 //!   --first-touch                  compare against first-touch instead of baseline
 //!   --optimal                      run the Section-2 optimal scheme instead
 //!   --threads <n>                  threads per core (default 1)
+//!   --prefetch <off|stride|stream|gated>
+//!                                  per-L2-slice prefetch engine (default
+//!                                  off; `gated` throttles by the off-chip
+//!                                  predictor). Also turns on the HL11xx
+//!                                  advisories in `check` and the pf_*
+//!                                  fields in `bench --json`
 //!   --scale <test|bench>           problem size (default bench)
 //!   --jobs <n>                     worker threads for the suite sweep
 //!                                  (default: available parallelism)
@@ -121,7 +127,7 @@ use hoploc::serve::{
     load::{render_report, report_json},
     Client, EngineCaps, LoadConfig, ServeConfig, Server, SuiteEngine,
 };
-use hoploc::sim::{Improvement, SimConfig};
+use hoploc::sim::{Improvement, PrefetchConfig, SimConfig};
 use hoploc::workloads::{all_apps, layout_for, App, RunKind, Scale};
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -135,6 +141,7 @@ fn sim(o: &Options) -> SimConfig {
     SimConfig {
         granularity: o.granularity,
         l2_mode: o.l2_mode,
+        prefetch: PrefetchConfig::with_mode(o.prefetch),
         ..SimConfig::scaled()
     }
 }
@@ -322,6 +329,20 @@ fn cmd_check(target: &str, o: &Options) -> ExitCode {
             d.extend(est::performance_diagnostics(
                 app, &layout, &mapping, &ecfg, label,
             ));
+            // Prefetch advisories (HL11xx) are opt-in: they judge the
+            // *requested* engine, so without --prefetch there is nothing
+            // to judge — and HL1102 warnings for an engine nobody asked
+            // for would trip --deny warnings gates.
+            if o.prefetch != hoploc::prefetch::PrefetchMode::Off {
+                d.extend(est::prefetch_diagnostics(
+                    app,
+                    &layout,
+                    &mapping,
+                    &ecfg,
+                    label,
+                    o.prefetch.name(),
+                ));
+            }
         }
         d
     })
@@ -460,14 +481,30 @@ fn cmd_bench(o: &Options) -> ExitCode {
             "  ],\n  \"total_wall_ms\": {total_ms:.3},\n  \"cells_detail\": [\n"
         ));
         for (i, (spec, (e, st))) in specs.iter().zip(ests.iter().zip(&stats)).enumerate() {
-            json.push_str(&format!(
+            let mut cell = format!(
                 "    {{\"app\": \"{}\", \"kind\": \"{}\", \"exec_cycles\": {}, \
-                 \"sim_offchip_fraction\": {:.6}, \"est_offchip_fraction\": {:.6}}}{}\n",
+                 \"sim_offchip_fraction\": {:.6}, \"est_offchip_fraction\": {:.6}",
                 suite.apps()[spec.app].name(),
                 kind_name(spec.kind),
                 st.exec_cycles,
                 st.offchip_fraction(),
                 e.offchip_fraction(),
+            );
+            // Per-cell prefetch effectiveness, present only when the run
+            // actually prefetched (off runs keep pre-prefetch bytes).
+            if !st.prefetch.is_empty() {
+                cell.push_str(&format!(
+                    ", \"pf_issued\": {}, \"pf_accuracy\": {:.6}, \
+                     \"pf_coverage\": {:.6}, \"pf_pred_accuracy\": {:.6}",
+                    st.prefetch.issued,
+                    st.prefetch.accuracy(),
+                    st.prefetch.coverage(st.offchip_accesses),
+                    st.prefetch.pred_accuracy(),
+                ));
+            }
+            json.push_str(&cell);
+            json.push_str(&format!(
+                "}}{}\n",
                 if i + 1 < specs.len() { "," } else { "" }
             ));
         }
@@ -594,6 +631,7 @@ fn cmd_trace(app: App, o: &Options) -> ExitCode {
         record_spans: true,
         epoch_cycles: o.epoch,
         span_capacity: o.span_cap,
+        prefetch: o.prefetch != hoploc::prefetch::PrefetchMode::Off,
     };
     // One traced run per configuration, fanned across the worker pool.
     let records = suite.run_matrix_traced(&specs, o.jobs, obs);

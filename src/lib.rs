@@ -26,6 +26,9 @@
 //!   request-lifecycle spans, a metric registry (counters, gauges,
 //!   histograms, windowed series), and Chrome-trace / JSON / TSV
 //!   exporters (`hoploc trace`);
+//! * [`prefetch`] — per-L2-slice stride/stream prefetch engines with a
+//!   perceptron-style off-chip predictor gating issue and an accuracy
+//!   throttle (`--prefetch stride|stream|gated|off`);
 //! * [`harness`] — the parallel, memoizing suite harness that fans the
 //!   (app × run-kind) matrix across threads with bit-identical results;
 //! * [`check`] — the static verifier and lint pass (`hoploc check`):
@@ -63,6 +66,7 @@ pub use hoploc_layout as layout;
 pub use hoploc_mem as mem;
 pub use hoploc_noc as noc;
 pub use hoploc_obs as obs;
+pub use hoploc_prefetch as prefetch;
 pub use hoploc_search as search;
 pub use hoploc_serve as serve;
 pub use hoploc_sim as sim;
